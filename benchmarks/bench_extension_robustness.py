@@ -1,0 +1,86 @@
+"""Extensions: arrival burstiness and eviction-policy robustness.
+
+Production traffic is burstier than the paper's Poisson arrivals, and
+vLLM ships two eviction policies (recompute / swap).  These benches
+check that the paper's conclusions survive both variations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.robustness import (
+    run_burstiness_sweep,
+    run_preemption_policy_comparison,
+)
+
+
+def bench_extension_burstiness(benchmark, report, bench_scale):
+    points = benchmark.pedantic(
+        run_burstiness_sweep, args=(bench_scale,), rounds=1, iterations=1
+    )
+    rows = [
+        [p.scheduler, f"{p.cv:.1f}", f"{p.p99_tbt:.3f}", f"{p.max_tbt:.2f}", f"{p.median_ttft:.2f}"]
+        for p in points
+    ]
+    report(
+        "Extension — arrival burstiness (Mistral-7B, sharegpt4 @ 1.5 qps, "
+        "Gamma arrivals). Sarathi's stall-free bound is load-shape-"
+        "independent; vLLM's worst stall grows with burst size.",
+        format_table(
+            ["scheduler", "inter-arrival CV", "P99 TBT (s)", "max TBT (s)", "med TTFT (s)"],
+            rows,
+        ),
+    )
+    by_key = {(p.scheduler, p.cv): p for p in points}
+    cvs = sorted({p.cv for p in points})
+    smooth, burstiest = cvs[0], cvs[-1]
+    # Sarathi's worst inter-token gap barely moves across burstiness...
+    assert (
+        by_key[("sarathi", burstiest)].max_tbt
+        < 2 * by_key[("sarathi", smooth)].max_tbt
+    )
+    # ...while vLLM's tail degrades with bursts and sits far above
+    # Sarathi's under the burstiest load.
+    vllm_worst = max(
+        by_key[("vllm", burstiest)].p99_tbt, by_key[("vllm", burstiest)].max_tbt / 10
+    )
+    assert vllm_worst > 1.5 * by_key[("vllm", smooth)].p99_tbt
+    assert (
+        by_key[("vllm", burstiest)].max_tbt
+        > 3 * by_key[("sarathi", burstiest)].max_tbt
+    )
+
+
+def bench_extension_preemption_policy(benchmark, report, bench_scale):
+    points = benchmark.pedantic(
+        run_preemption_policy_comparison, args=(bench_scale,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            p.policy,
+            f"{p.p99_tbt:.3f}",
+            f"{p.median_ttft:.2f}",
+            f"{p.makespan:.1f}",
+            str(p.num_preemptions),
+            str(p.num_swap_outs),
+            str(p.redone_prefill_tokens),
+        ]
+        for p in points
+    ]
+    report(
+        "Extension — eviction policy under KV pressure (Yi-34B, squeezed "
+        "cache). Recompute re-prefills evicted work; swap pays PCIe "
+        "transfers and keeps it.",
+        format_table(
+            ["policy", "P99 TBT (s)", "med TTFT (s)", "makespan (s)",
+             "preemptions", "swap-outs", "re-prefilled tokens"],
+            rows,
+        ),
+    )
+    by_policy = {p.policy: p for p in points}
+    assert by_policy["recompute"].num_preemptions > 0
+    assert by_policy["swap"].num_swap_outs > 0
+    assert (
+        by_policy["swap"].redone_prefill_tokens
+        < by_policy["recompute"].redone_prefill_tokens
+    )

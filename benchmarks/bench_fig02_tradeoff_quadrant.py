@@ -1,0 +1,40 @@
+"""Figure 2: the throughput–latency quadrant.
+
+Paper (illustrative): prefill-prioritizing schedulers (Orca, vLLM) buy
+throughput with TBT latency; decode-prioritizing (FasterTransformer)
+buys TBT with throughput; Sarathi-Serve gets both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.fig02_quadrant import run_quadrant
+
+
+def bench_fig02_quadrant(benchmark, report, bench_scale):
+    points = benchmark.pedantic(
+        run_quadrant, args=(bench_scale,), kwargs={"qps": 3.0}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            p.scheduler,
+            f"{p.throughput_tokens_per_s:.0f}",
+            f"{p.p99_tbt:.3f}",
+            f"{p.median_ttft:.2f}",
+        ]
+        for p in points
+    ]
+    report(
+        "Fig 2 — throughput/latency quadrant (Mistral-7B, sharegpt4). "
+        "Paper: FT = low TBT/low throughput; Orca/vLLM = high/high; "
+        "Sarathi = high throughput + low TBT.",
+        format_table(
+            ["scheduler", "throughput (tok/s)", "P99 TBT (s)", "median TTFT (s)"], rows
+        ),
+    )
+    by_sched = {p.scheduler: p for p in points}
+    sarathi = by_sched["sarathi"]
+    ft = by_sched["faster_transformer"]
+    assert sarathi.p99_tbt < by_sched["vllm"].p99_tbt
+    assert sarathi.p99_tbt < by_sched["orca"].p99_tbt
+    assert sarathi.throughput_tokens_per_s > 1.25 * ft.throughput_tokens_per_s

@@ -1,0 +1,36 @@
+"""Figure 5: arithmetic intensity of linear operators vs token count.
+
+Paper: decode batches sit far below the A100's ridge intensity
+(memory-bound); prefill-sized token counts sit above it; hybrid
+batches land near the ridge (LLaMA2-70B, 4×A100).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.fig05_intensity import run_intensity_sweep
+
+
+def bench_fig05_intensity(benchmark, report):
+    points = benchmark.pedantic(run_intensity_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            str(p.num_tokens),
+            f"{p.arithmetic_intensity:.1f}",
+            f"{p.ridge_intensity:.0f}",
+            "memory" if p.is_memory_bound else "compute",
+        ]
+        for p in points
+    ]
+    report(
+        "Fig 5 — arithmetic intensity vs tokens (LLaMA2-70B, TP4 A100s). "
+        "Paper: decodes memory-bound, prefills compute-bound, ridge between.",
+        format_table(["tokens", "FLOPs/byte", "ridge", "regime"], rows),
+    )
+    by_tokens = {p.num_tokens: p for p in points}
+    assert by_tokens[1].is_memory_bound
+    assert by_tokens[32].is_memory_bound
+    assert not by_tokens[1024].is_memory_bound
+    # Intensity grows monotonically with token count.
+    intensities = [p.arithmetic_intensity for p in points]
+    assert intensities == sorted(intensities)

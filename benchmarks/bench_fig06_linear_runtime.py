@@ -1,0 +1,41 @@
+"""Figure 6: linear-layer runtime vs token count at TP 1/2/4/8.
+
+Paper: execution time is largely stagnant while the batch is
+memory-bound (especially at higher TP degrees, where the observed
+compute-bound knee moves to ~500-600 tokens) and grows linearly after.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.fig06_linear_runtime import (
+    TOKEN_COUNTS,
+    TP_DEGREES,
+    compute_bound_knee,
+    run_linear_runtime,
+)
+
+
+def bench_fig06_linear_runtime(benchmark, report):
+    points = benchmark.pedantic(run_linear_runtime, rounds=1, iterations=1)
+    by_tp: dict[int, dict[int, float]] = {}
+    for p in points:
+        by_tp.setdefault(p.tensor_parallel, {})[p.num_tokens] = p.layer_time
+    rows = [
+        [f"TP{tp}"] + [f"{by_tp[tp][n] * 1e6:.0f}" for n in TOKEN_COUNTS]
+        for tp in TP_DEGREES
+    ]
+    knees = {tp: compute_bound_knee(tp) for tp in TP_DEGREES}
+    report(
+        "Fig 6 — per-layer linear runtime (µs) vs tokens (LLaMA2-70B, A100). "
+        f"Paper: flat while memory-bound, then linear; knee moves right with TP "
+        f"(measured knees: {knees}).",
+        format_table(["config"] + [str(n) for n in TOKEN_COUNTS], rows),
+    )
+    # Runtime at fixed tokens shrinks with TP.
+    for n in TOKEN_COUNTS:
+        assert by_tp[8][n] < by_tp[1][n]
+    # The compute-bound knee is no earlier at TP8 than TP1.
+    assert knees[8] >= knees[1]
+    # Past the knee, runtime grows ~linearly: 4096 tokens ≈ 2× 2048.
+    assert by_tp[1][4096] > 1.7 * by_tp[1][2048]

@@ -1,0 +1,51 @@
+"""Figure 8: pipeline bubbles under Orca vs Sarathi-Serve.
+
+Paper: non-uniform micro-batch runtimes (full prefills next to decode
+batches) leave later pipeline stages idle; Sarathi's uniform-compute
+hybrid batches shrink both the runtime variation and the bubbles
+(Falcon-180B, TP4-PP2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.fig08_bubbles import run_bubble_comparison
+
+
+def bench_fig08_pipeline_bubbles(benchmark, report, bench_scale):
+    reports = benchmark.pedantic(
+        run_bubble_comparison, args=(bench_scale,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            r.scheduler,
+            f"{r.iteration_time_cv:.2f}",
+            f"{r.bubble_fraction_last_stage:.1%}",
+            f"{r.bubble_time:.1f}",
+            f"{r.makespan:.0f}",
+        ]
+        for r in reports
+    ]
+    report(
+        "Fig 8 — pipeline bubbles (Falcon-180B, TP4-PP2, sharegpt4). "
+        "Paper: Orca's varying micro-batches cause bubbles; Sarathi's "
+        "uniform batches minimize them.",
+        format_table(
+            [
+                "scheduler",
+                "iter-time CV",
+                "last-stage bubble frac",
+                "bubble time (s)",
+                "makespan (s)",
+            ],
+            rows,
+        ),
+    )
+    by_sched = {r.scheduler: r for r in reports}
+    assert (
+        by_sched["sarathi"].iteration_time_cv < by_sched["orca"].iteration_time_cv
+    )
+    assert (
+        by_sched["sarathi"].bubble_fraction_last_stage
+        <= by_sched["orca"].bubble_fraction_last_stage
+    )

@@ -1,0 +1,47 @@
+"""Figure 11: serving capacity of the pipeline-parallel deployments.
+
+Paper: on LLaMA2-70B (8×A40, TP4-PP2) and Falcon-180B (8×A100,
+TP4-PP2 over Ethernet) Sarathi-Serve gains up to 6.3×/4.3× over
+Orca/vLLM — stall-freedom *and* bubble-freedom compound under PP.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.fig10_capacity_small import sarathi_gain_over
+from repro.experiments.fig11_capacity_pp import run_capacity_grid_pp
+
+
+def bench_fig11_capacity_pp(benchmark, report, bench_scale):
+    cells = benchmark.pedantic(
+        run_capacity_grid_pp, args=(bench_scale,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            c.deployment.split("/")[0],
+            c.dataset.replace("_summarization", "").replace("openchat_", ""),
+            c.slo_name,
+            c.scheduler,
+            f"{c.capacity_qps:.2f}",
+        ]
+        for c in cells
+    ]
+    gains_vllm = sarathi_gain_over(cells, "vllm")
+    gains_orca = sarathi_gain_over(cells, "orca")
+    gain_lines = [
+        f"  {key[0].split('/')[0]:11s} {key[1]:20s} {key[2]:8s} "
+        f"sarathi/vllm={gains_vllm.get(key, float('nan')):.2f}x  "
+        f"sarathi/orca={gains_orca.get(key, float('nan')):.2f}x"
+        for key in sorted(gains_vllm)
+    ]
+    report(
+        "Fig 11 — capacity (QPS) for LLaMA2-70B & Falcon-180B (TP4-PP2). "
+        "Paper: Sarathi up to 6.3×/4.3× over Orca/vLLM.",
+        format_table(["model", "dataset", "SLO", "scheduler", "capacity qps"], rows)
+        + "\n\nSarathi gains:\n"
+        + "\n".join(gain_lines),
+    )
+    for key, gain in gains_vllm.items():
+        assert gain >= 0.85, f"sarathi lost to vllm at {key}: {gain:.2f}"
+    strict_gains = [g for (dep, ds, slo), g in gains_vllm.items() if slo == "strict"]
+    assert max(strict_gains) > 1.5

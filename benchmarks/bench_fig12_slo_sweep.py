@@ -1,0 +1,45 @@
+"""Figure 12: capacity as a function of the P99-TBT SLO target.
+
+Paper: vLLM's capacity is nearly identical at max batch sizes
+32/64/128 (generation stalls, not memory, bind it) and collapses under
+stringent SLOs; Sarathi-Serve trades precisely via the token budget —
+512 wins strict targets (3.5× over vLLM at 100 ms), 2048 wins relaxed
+ones (1.65× at 1 s).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.fig12_slo_sweep import run_slo_sweep
+
+
+def bench_fig12_slo_sweep(benchmark, report, bench_scale):
+    points = benchmark.pedantic(
+        run_slo_sweep, args=(bench_scale,), rounds=1, iterations=1
+    )
+    slos = sorted({p.slo_p99_tbt for p in points})
+    variants = sorted({p.variant for p in points})
+    by_key = {(p.variant, p.slo_p99_tbt): p.capacity_qps for p in points}
+    rows = [
+        [variant] + [f"{by_key[(variant, slo)]:.2f}" for slo in slos]
+        for variant in variants
+    ]
+    report(
+        "Fig 12 — capacity (QPS) vs P99 TBT SLO (Mistral-7B, sharegpt4). "
+        "Paper: vLLM flat across batch sizes & collapsing at strict SLOs; "
+        "Sarathi-512 wins strict, Sarathi-2048 wins relaxed.",
+        format_table(["variant"] + [f"SLO {s:.2f}s" for s in slos], rows),
+    )
+    tightest, loosest = slos[0], slos[-1]
+    # vLLM barely changes with batch size (its stalls bind first).
+    vllm_caps = [by_key[(f"vllm-bs{bs}", tightest)] for bs in (32, 64, 128)]
+    assert max(vllm_caps) - min(vllm_caps) <= 0.5 * max(max(vllm_caps), 0.1)
+    # The small budget wins the tightest SLO...
+    assert by_key[("sarathi-512", tightest)] >= by_key[("vllm-bs128", tightest)]
+    # ...and the large budget is at least competitive when relaxed.
+    assert by_key[("sarathi-2048", loosest)] >= by_key[("sarathi-512", loosest)] * 0.8
+    # Capacity is non-decreasing in the SLO for every variant.
+    for variant in variants:
+        caps = [by_key[(variant, slo)] for slo in slos]
+        for a, b in zip(caps, caps[1:]):
+            assert b >= a * 0.8  # tolerance for search noise

@@ -1,0 +1,71 @@
+"""Table 4: hybrid-batching and chunked-prefills in isolation vs together.
+
+Paper (Yi-34B TP2, budget 1024, 128 requests):
+
+| scheduler              | sharegpt4 TTFT/TBT | arxiv TTFT/TBT |
+| hybrid-batching-only   | 0.53 / 0.68        | 3.78 / 1.38    |
+| chunked-prefills-only  | 1.04 / 0.17        | 5.38 / 0.20    |
+| Sarathi (combined)     | 0.76 / 0.14        | 3.90 / 0.17    |
+
+Shape: hybrid-only has the best TTFT but stalls (high TBT);
+chunked-only bounds TBT but inflates TTFT; combined wins TBT while
+keeping TTFT between the two.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.table4_ablation import run_ablation
+
+PAPER_NUMBERS = {
+    ("hybrid_batching_only", "openchat_sharegpt4"): (0.53, 0.68),
+    ("chunked_prefills_only", "openchat_sharegpt4"): (1.04, 0.17),
+    ("sarathi", "openchat_sharegpt4"): (0.76, 0.14),
+    ("hybrid_batching_only", "arxiv_summarization"): (3.78, 1.38),
+    ("chunked_prefills_only", "arxiv_summarization"): (5.38, 0.20),
+    ("sarathi", "arxiv_summarization"): (3.90, 0.17),
+}
+
+
+def bench_table4_ablation(benchmark, report, bench_scale):
+    rows_data = benchmark.pedantic(
+        run_ablation, args=(bench_scale,), rounds=1, iterations=1
+    )
+    rows = []
+    for r in rows_data:
+        paper_ttft, paper_tbt = PAPER_NUMBERS[(r.scheduler, r.dataset)]
+        rows.append(
+            [
+                r.scheduler,
+                r.dataset,
+                f"{r.p50_ttft:.2f}",
+                f"{paper_ttft:.2f}",
+                f"{r.p99_tbt:.2f}",
+                f"{paper_tbt:.2f}",
+            ]
+        )
+    report(
+        "Table 4 — ablation (Yi-34B TP2, budget 1024). "
+        "Shape to match: combined has lowest TBT; hybrid-only lowest TTFT "
+        "but highest TBT; chunked-only highest TTFT.",
+        format_table(
+            [
+                "scheduler",
+                "dataset",
+                "P50 TTFT",
+                "(paper)",
+                "P99 TBT",
+                "(paper)",
+            ],
+            rows,
+        ),
+    )
+    for dataset in {r.dataset for r in rows_data}:
+        cells = {r.scheduler: r for r in rows_data if r.dataset == dataset}
+        combined = cells["sarathi"]
+        hybrid = cells["hybrid_batching_only"]
+        chunked = cells["chunked_prefills_only"]
+        assert combined.p99_tbt < hybrid.p99_tbt
+        assert combined.p99_tbt <= chunked.p99_tbt * 1.1
+        assert hybrid.p50_ttft <= combined.p50_ttft
+        assert combined.p50_ttft <= chunked.p50_ttft

@@ -1,0 +1,44 @@
+"""Benchmark-suite plumbing.
+
+Benches time one full experiment run via pytest-benchmark and register
+their paper-vs-measured tables with the ``report`` fixture; the tables
+are printed in the terminal summary (after the timing table), so they
+survive pytest's output capture.
+
+Scale is controlled with ``REPRO_SCALE`` (smoke | default | full).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Scale, scale_from_env
+
+_REPORTS: list[tuple[str, str]] = []
+
+# Capacity searches dominate bench wall-clock; trimmed relative to the
+# library default so the whole suite stays in the tens of minutes.
+BENCH_SCALE = scale_from_env(
+    Scale(num_requests=96, capacity_rel_tol=0.2, capacity_max_probes=9)
+)
+
+
+@pytest.fixture
+def report():
+    """Register a (title, table) pair for the terminal summary."""
+
+    def _add(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return _add
+
+
+@pytest.fixture
+def bench_scale() -> Scale:
+    return BENCH_SCALE
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(text)

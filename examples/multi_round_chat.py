@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Closed-loop multi-round chat across a small fleet.
+
+The sharegpt workload is conversational: each round's prompt carries
+the whole history, and the next round only arrives after the user has
+read the response.  This example drives that closed loop through the
+engine's followup hook, comparing Sarathi-Serve against vLLM on
+per-round responsiveness, then shows how a 2-replica fleet with
+least-outstanding-tokens routing absorbs the same community of users.
+
+Run:  python examples/multi_round_chat.py
+"""
+
+from __future__ import annotations
+
+from repro.api import ServingConfig
+from repro.cluster import LeastTokensRouter, simulate_cluster
+from repro.experiments.common import mistral_deployment
+from repro.types import SchedulerKind
+from repro.workload.conversation import ConversationSpec, simulate_conversations
+from repro.workload.datasets import generate_requests, SHAREGPT4
+
+
+def main() -> None:
+    deployment = mistral_deployment()
+    spec = ConversationSpec(
+        num_conversations=60,
+        mean_rounds=4.0,
+        mean_think_time=8.0,
+        arrival_qps=0.8,
+    )
+    print(f"deployment: {deployment.label}")
+    print(f"workload: {spec.num_conversations} conversations, "
+          f"~{spec.mean_rounds:.0f} rounds each, "
+          f"{spec.mean_think_time:.0f}s think time\n")
+
+    print("== single replica, closed-loop conversations ==")
+    for kind in (SchedulerKind.SARATHI, SchedulerKind.VLLM):
+        config = ServingConfig(scheduler=kind, token_budget=512)
+        result, metrics = simulate_conversations(deployment, config, spec, seed=11)
+        print(
+            f"  {kind.value:8s} rounds served {metrics.num_requests:4d} | "
+            f"median TTFT {metrics.median_ttft:6.3f}s | "
+            f"P99 TBT {metrics.p99_tbt:6.3f}s | max TBT {metrics.max_tbt:6.3f}s"
+        )
+    print(
+        "  every later round re-prefills the whole history, so prompts grow "
+        "round over round — exactly the long-prefill regime where vLLM's "
+        "eager scheduling stalls other users' streams.\n"
+    )
+
+    print("== same load on a 2-replica fleet (least-outstanding-tokens) ==")
+    trace = generate_requests(SHAREGPT4, num_requests=150, qps=4.0, seed=11)
+    for replicas in (1, 2):
+        _, metrics = simulate_cluster(
+            deployment,
+            ServingConfig(scheduler=SchedulerKind.SARATHI, token_budget=512),
+            trace,
+            num_replicas=replicas,
+            router=LeastTokensRouter(replicas),
+        )
+        print(
+            f"  {replicas} replica(s): median TTFT {metrics.median_ttft:6.2f}s | "
+            f"P99 sched delay {metrics.p99_scheduling_delay:6.2f}s | "
+            f"P99 TBT {metrics.p99_tbt:6.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Serving a 180B model across two commodity-network nodes (§5.3).
+
+Falcon-180B does not fit in one node, and 8-way tensor parallelism
+over 100G Ethernet pays per-layer allreduces on the critical path.
+This example (a) compares decode latency of cross-node TP8 vs
+TP4-within-node + PP2-across-nodes, and (b) runs a trace through the
+pipeline under Orca-style scheduling vs Sarathi-Serve to show how
+uniform batches shrink pipeline bubbles.
+
+Run:  python examples/pipeline_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import ServingConfig, simulate
+from repro.experiments.common import falcon_deployment, falcon_tp8_cross_node_deployment
+from repro.experiments.fig13_tp_vs_pp import run_decode_latency
+from repro.metrics.timeline import pipeline_bubble_time, stage_utilization
+from repro.types import SchedulerKind
+from repro.workload.datasets import SHAREGPT4, generate_requests
+
+
+def main() -> None:
+    print("== (a) parallel layout: decode-only TBT ==")
+    for point in run_decode_latency(batch_sizes=(16, 32, 64)):
+        print(f"  {point.layout:16s} bs={point.batch_size:<3d} "
+              f"TBT {point.tbt * 1e3:6.1f} ms")
+    print("  cross-node TP pays 80 layers of Ethernet allreduces per token;")
+    print("  the hybrid layout pays one activation hop per micro-batch.\n")
+
+    print("== (b) pipeline bubbles: Orca vs Sarathi-Serve ==")
+    deployment = falcon_deployment()
+    trace = generate_requests(SHAREGPT4, num_requests=96, qps=1.0, seed=2)
+    for kind in (SchedulerKind.ORCA, SchedulerKind.SARATHI):
+        config = ServingConfig(scheduler=kind, token_budget=512)
+        result, metrics = simulate(deployment, config, trace)
+        durations = [r.duration for r in result.records if r.stage == 0]
+        cv = float(np.std(durations) / np.mean(durations))
+        num_bubbles, bubble_time = pipeline_bubble_time(result.records, 1)
+        span = stage_utilization(result.records, 1).span
+        print(
+            f"  {kind.value:8s} micro-batch time CV {cv:4.2f} | "
+            f"stage-2 bubbles {num_bubbles:5d} "
+            f"({bubble_time:6.1f}s, {bubble_time / span:5.1%} of span) | "
+            f"P99 TBT {metrics.p99_tbt:6.3f}s"
+        )
+    print(
+        "\nOrca's micro-batches swing between multi-second prefills and "
+        "sub-100ms decodes, starving the second stage; Sarathi's "
+        "budget-bounded hybrid batches keep the pipe full."
+    )
+
+
+if __name__ == "__main__":
+    main()

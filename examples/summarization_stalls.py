@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Document summarization: watching generation stalls happen.
+
+The arxiv_summarization workload (median prompt ≈ 7k tokens) is the
+paper's worst case for prefill-prioritizing schedulers: every newly
+admitted document freezes all ongoing summaries for the full prefill.
+This example replays the same trace under vLLM and Sarathi-Serve on
+Yi-34B (TP2) and prints each request's worst inter-token gap plus a
+token-timeline sketch of the most-stalled request (the view of
+Fig. 1a).
+
+Run:  python examples/summarization_stalls.py
+"""
+
+from __future__ import annotations
+
+from repro.api import ServingConfig, simulate
+from repro.experiments.common import yi_deployment
+from repro.metrics.timeline import generation_stalls
+from repro.types import Request, SchedulerKind
+from repro.workload.datasets import ARXIV_SUMMARIZATION, generate_requests
+
+STALL_THRESHOLD = 0.5  # seconds
+
+
+def sketch_timeline(request: Request, bucket: float = 1.0, width: int = 60) -> str:
+    """ASCII density sketch: one column per ``bucket`` seconds, darker
+    means more tokens emitted; gaps show up as spaces."""
+    if not request.token_times:
+        return "(no tokens)"
+    start = request.token_times[0]
+    span = request.token_times[-1] - start
+    buckets = int(span / bucket) + 1
+    counts = [0] * buckets
+    for t in request.token_times:
+        counts[int((t - start) / bucket)] += 1
+    shades = " .:*#"
+    cells = min(buckets, width)
+    step = buckets / cells
+    out = []
+    for i in range(cells):
+        chunk = counts[int(i * step) : int((i + 1) * step) + 1]
+        density = max(chunk) if chunk else 0
+        out.append(shades[min(len(shades) - 1, density // 3 + (1 if density else 0))])
+    return "".join(out)
+
+
+def main() -> None:
+    deployment = yi_deployment()
+    trace = generate_requests(ARXIV_SUMMARIZATION, num_requests=96, qps=0.45, seed=1)
+    print(f"deployment: {deployment.label}")
+    print("workload: arxiv_summarization, 96 requests @ 0.45 qps\n")
+
+    for kind in (SchedulerKind.VLLM, SchedulerKind.SARATHI):
+        config = ServingConfig(scheduler=kind, token_budget=512)
+        result, metrics = simulate(deployment, config, trace)
+        stalls = []
+        worst_request = None
+        worst_gap = 0.0
+        for request in result.finished_requests:
+            gaps = generation_stalls(request, STALL_THRESHOLD)
+            stalls.extend(gaps)
+            if gaps and max(gaps) > worst_gap:
+                worst_gap = max(gaps)
+                worst_request = request
+        print(f"== {kind.value} ==")
+        print(f"  P99 TBT {metrics.p99_tbt:.3f}s | stalls(>{STALL_THRESHOLD}s): "
+              f"{len(stalls)} | worst stall {worst_gap:.2f}s")
+        if worst_request is not None:
+            print(f"  most-stalled request (1 col ≈ 1s, blank = stalled):")
+            print(f"  [{sketch_timeline(worst_request)}]")
+        else:
+            print("  no generation stalls — every gap stayed under the threshold")
+        print()
+
+    print(
+        "vLLM freezes all ongoing summaries whenever a new 7k-token paper "
+        "is prefilled; Sarathi-Serve slips the same prefill through in "
+        "512-token chunks riding along with the decodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

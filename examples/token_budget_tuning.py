@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Choosing a token budget for a deployment (§4.3 in practice).
+
+The token budget is Sarathi-Serve's single knob: smaller budgets bound
+iteration latency tighter (better TBT) but chunk prefills more
+aggressively (more KV re-reads and fixed overheads, worse prefill
+efficiency).  This example runs the one-time profiling pass the paper
+describes for LLaMA2-70B on 8×A40 (TP4-PP2), prints the profile, picks
+budgets for a strict and a relaxed SLO, and shows the resulting chunk
+overheads.
+
+Run:  python examples/token_budget_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import llama70_deployment
+from repro.perf.profiler import (
+    compute_token_budget,
+    derive_slo,
+    profile_token_budgets,
+    reference_decode_time,
+)
+
+
+def main() -> None:
+    deployment = llama70_deployment()
+    exec_model = deployment.execution_model()
+    reference = reference_decode_time(exec_model)
+    print(f"deployment: {deployment.label}")
+    print(f"reference decode TBT (bs=32, 4k context): {reference * 1e3:.1f} ms\n")
+
+    strict = derive_slo(exec_model, strict=True)
+    relaxed = derive_slo(exec_model, strict=False)
+
+    print("hybrid-batch latency profile (one budget-filled iteration):")
+    print(f"{'budget':>8s} {'iter time':>10s} {'strict ok':>10s} {'relaxed ok':>11s}")
+    for profile in profile_token_budgets(exec_model, strict):
+        if profile.token_budget % 512 and profile.token_budget > 1024:
+            continue
+        print(
+            f"{profile.token_budget:8d} {profile.iteration_time * 1e3:8.1f}ms "
+            f"{'yes' if profile.iteration_time <= strict else 'no':>10s} "
+            f"{'yes' if profile.iteration_time <= relaxed else 'no':>11s}"
+        )
+
+    strict_budget = compute_token_budget(exec_model, strict)
+    relaxed_budget = compute_token_budget(exec_model, relaxed)
+    print(f"\nchosen budgets: strict SLO ({strict * 1e3:.0f} ms) -> {strict_budget} "
+          f"tokens; relaxed SLO ({relaxed * 1e3:.0f} ms) -> {relaxed_budget} tokens")
+    print("(the paper ships 512 strict / 1536-2048 relaxed)\n")
+
+    print("prefill overhead of chunking a 8192-token prompt:")
+    unchunked = exec_model.full_prefill_time(8192).total
+    for budget in (strict_budget, relaxed_budget):
+        chunked = exec_model.chunked_prefill_time(8192, budget).total
+        print(
+            f"  chunk {budget:5d}: {chunked:.2f}s vs {unchunked:.2f}s unchunked "
+            f"(+{(chunked / unchunked - 1) * 100:.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Reproduction of *Sarathi-Serve* (Agrawal et al., OSDI 2024).
+
+Chunked-prefills and stall-free batching for LLM inference serving,
+implemented end to end on a discrete-event GPU-roofline simulator:
+
+* ``repro.models`` / ``repro.hardware`` / ``repro.parallel`` — the
+  model, device and parallelism catalogs (Table 1);
+* ``repro.perf`` — the analytical execution-time model (§3.1);
+* ``repro.memory`` — paged and reservation KV-cache allocators;
+* ``repro.scheduling`` + ``repro.core`` — the four schedulers
+  (Algorithms 1-3) and the Table 4 ablations;
+* ``repro.engine`` — the event-driven replica/pipeline engine;
+* ``repro.workload`` — Table 2 workload synthesis;
+* ``repro.metrics`` — TTFT/TBT/SLO/capacity machinery (§2.4, §5.1);
+* ``repro.api`` — the high-level ``Deployment``/``simulate`` facade.
+
+Quickstart::
+
+    from repro import Deployment, ServingConfig, SchedulerKind, simulate
+    from repro.models import MISTRAL_7B
+    from repro.hardware import A100_80G
+    from repro.workload import SHAREGPT4, generate_requests
+
+    deployment = Deployment(model=MISTRAL_7B, gpu=A100_80G)
+    trace = generate_requests(SHAREGPT4, num_requests=100, qps=1.0, seed=0)
+    result, metrics = simulate(
+        deployment, ServingConfig(scheduler=SchedulerKind.SARATHI), trace
+    )
+    print(metrics.p99_tbt, metrics.median_ttft)
+"""
+
+from repro.api import (
+    Deployment,
+    ServingConfig,
+    build_engine,
+    build_memory,
+    build_scheduler,
+    clone_requests,
+    simulate,
+)
+from repro.types import (
+    IterationTime,
+    Request,
+    RequestPhase,
+    SchedulerKind,
+    TokenWork,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Deployment",
+    "ServingConfig",
+    "SchedulerKind",
+    "simulate",
+    "build_engine",
+    "build_scheduler",
+    "build_memory",
+    "clone_requests",
+    "Request",
+    "RequestPhase",
+    "TokenWork",
+    "IterationTime",
+    "__version__",
+]

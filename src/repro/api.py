@@ -1,0 +1,187 @@
+"""High-level API: describe a deployment, pick a scheduler, simulate.
+
+This is the entry point examples, benchmarks and the capacity harness
+use.  A ``Deployment`` pins the model/hardware/parallelism triple; a
+``ServingConfig`` picks the scheduling policy and its knobs; and
+``simulate`` runs a request trace through a freshly built engine.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+
+from repro.core.dynamic import DynamicSarathiScheduler
+from repro.core.sarathi import SarathiScheduler
+from repro.engine.replica import ReplicaEngine, SimulationResult
+from repro.perf.profiler import derive_slo
+from repro.hardware.gpu import GPUSpec
+from repro.memory.block_manager import (
+    DEFAULT_BLOCK_SIZE,
+    MemoryManager,
+    PagedBlockManager,
+    ReservationManager,
+)
+from repro.memory.capacity import (
+    PAGED_ACTIVATION_RESERVE_BYTES,
+    RESERVATION_ACTIVATION_RESERVE_BYTES,
+    kv_token_capacity,
+)
+from repro.metrics.summary import RunMetrics, summarize
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.iteration import ExecutionModel
+from repro.scheduling.ablations import (
+    ChunkedPrefillsOnlyScheduler,
+    hybrid_batching_only_scheduler,
+)
+from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
+from repro.scheduling.faster_transformer import FasterTransformerScheduler
+from repro.scheduling.orca import OrcaScheduler
+from repro.scheduling.vllm import VLLMScheduler
+from repro.types import Request, SchedulerKind
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A model running on a specific hardware/parallelism configuration."""
+
+    model: ModelConfig
+    gpu: GPUSpec
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+    def execution_model(self) -> ExecutionModel:
+        return ExecutionModel(self.model, self.gpu, self.parallel, self.calibration)
+
+    def kv_capacity_tokens(self, reservation_style: bool = False) -> int:
+        reserve = (
+            RESERVATION_ACTIVATION_RESERVE_BYTES
+            if reservation_style
+            else PAGED_ACTIVATION_RESERVE_BYTES
+        )
+        return kv_token_capacity(
+            self.model, self.gpu, self.parallel, activation_reserve_bytes=reserve
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.model.name}/{self.gpu.name}/{self.parallel.label}"
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Scheduler choice and its knobs."""
+
+    scheduler: SchedulerKind = SchedulerKind.SARATHI
+    token_budget: int = 512
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    block_size: int = DEFAULT_BLOCK_SIZE
+    # Reservation length for Orca/FT-style memory (defaults to the
+    # dataset-appropriate max sequence length).
+    reserve_len: int = 8192
+    max_inflight_batches: int | None = None
+    # For SARATHI_DYNAMIC: the TBT SLO the per-iteration budget targets
+    # (None derives the strict SLO from the deployment, §5.1).
+    tbt_slo: float | None = None
+    # What eviction does under memory pressure (paged schedulers):
+    # "recompute" re-prefills from scratch, "swap" parks KV in host
+    # memory and pays PCIe transfers instead.
+    preemption_mode: str = "recompute"
+
+    def with_budget(self, token_budget: int) -> "ServingConfig":
+        return replace(self, token_budget=token_budget)
+
+
+def build_memory(deployment: Deployment, config: ServingConfig) -> MemoryManager:
+    """Construct the memory manager matching the scheduler family."""
+    if config.scheduler in (SchedulerKind.FASTER_TRANSFORMER, SchedulerKind.ORCA):
+        capacity = deployment.kv_capacity_tokens(reservation_style=True)
+        return ReservationManager(capacity, reserve_len=config.reserve_len)
+    capacity = deployment.kv_capacity_tokens(reservation_style=False)
+    return PagedBlockManager(capacity, block_size=config.block_size)
+
+
+def build_scheduler(deployment: Deployment, config: ServingConfig) -> Scheduler:
+    """Construct a fresh scheduler (and its memory manager)."""
+    memory = build_memory(deployment, config)
+    kind = config.scheduler
+    if kind is SchedulerKind.FASTER_TRANSFORMER:
+        return FasterTransformerScheduler(memory, config.max_batch_size)
+    if kind is SchedulerKind.ORCA:
+        return OrcaScheduler(memory, config.max_batch_size)
+    kv_bytes = deployment.model.kv_bytes_per_token
+    if kind is SchedulerKind.VLLM:
+        return VLLMScheduler(
+            memory,
+            config.max_batch_size,
+            preemption_mode=config.preemption_mode,
+            kv_bytes_per_token=kv_bytes,
+        )
+    if kind is SchedulerKind.SARATHI:
+        return SarathiScheduler(
+            memory,
+            token_budget=config.token_budget,
+            max_batch_size=config.max_batch_size,
+            preemption_mode=config.preemption_mode,
+            kv_bytes_per_token=kv_bytes,
+        )
+    if kind is SchedulerKind.SARATHI_DYNAMIC:
+        exec_model = deployment.execution_model()
+        slo = config.tbt_slo
+        if slo is None:
+            slo = derive_slo(exec_model, strict=True)
+
+        def iteration_cost(works, _exec_model=exec_model):
+            stage = _exec_model.iteration_time(works).total
+            pp = _exec_model.parallel.pipeline_parallel
+            if pp == 1:
+                return stage
+            return pp * stage + (pp - 1) * _exec_model.pipeline_send_time(works)
+
+        return DynamicSarathiScheduler(
+            memory,
+            tbt_slo=slo,
+            iteration_cost=iteration_cost,
+            max_batch_size=config.max_batch_size,
+        )
+    if kind is SchedulerKind.CHUNKED_ONLY:
+        return ChunkedPrefillsOnlyScheduler(
+            memory, token_budget=config.token_budget, max_batch_size=config.max_batch_size
+        )
+    if kind is SchedulerKind.HYBRID_ONLY:
+        return hybrid_batching_only_scheduler(
+            memory, token_budget=config.token_budget, max_batch_size=config.max_batch_size
+        )
+    raise ValueError(f"unknown scheduler kind {kind!r}")
+
+
+def build_engine(deployment: Deployment, config: ServingConfig) -> ReplicaEngine:
+    """A fresh engine ready to ``run`` a request trace."""
+    return ReplicaEngine(
+        deployment.execution_model(),
+        build_scheduler(deployment, config),
+        max_inflight_batches=config.max_inflight_batches,
+    )
+
+
+def clone_requests(requests: list[Request]) -> list[Request]:
+    """Deep-copy a trace so runs never share mutable request state."""
+    return [copy.deepcopy(r) for r in requests]
+
+
+def simulate(
+    deployment: Deployment,
+    config: ServingConfig,
+    requests: list[Request],
+    max_time: float | None = None,
+) -> tuple[SimulationResult, RunMetrics]:
+    """Run a trace through a fresh engine and summarize it.
+
+    The input requests are cloned first, so the same trace can be
+    replayed across schedulers and loads.
+    """
+    engine = build_engine(deployment, config)
+    result = engine.run(clone_requests(requests), max_time=max_time)
+    return result, summarize(result)

@@ -1,0 +1,97 @@
+"""Batch composition: which requests contribute which tokens.
+
+A ``Batch`` is the unit the engine executes per iteration (or per
+pipeline micro-batch).  Each entry pairs a request with the
+``TokenWork`` the scheduler assigned it — a decode step or a prefill
+chunk — which is exactly what the execution model needs to price the
+iteration and what ``on_batch_complete`` needs to commit progress.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.types import Request, TokenWork
+
+_batch_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ScheduledWork:
+    """One request's assignment within a batch."""
+
+    request: Request
+    work: TokenWork
+
+
+@dataclass
+class Batch:
+    """One iteration's worth of coalesced work.
+
+    ``swap_bytes`` is the KV-cache volume moved between GPU and host
+    memory alongside this iteration (swap-based preemption); the engine
+    charges its transfer time to the iteration.
+    """
+
+    items: list[ScheduledWork]
+    scheduled_at: float = 0.0
+    swap_bytes: int = 0
+    batch_id: int = field(default_factory=lambda: next(_batch_ids))
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("a batch must contain at least one item")
+        seen: set[int] = set()
+        for item in self.items:
+            rid = item.request.request_id
+            if rid in seen:
+                raise ValueError(f"request {rid} appears twice in batch")
+            seen.add(rid)
+
+    # ------------------------------------------------------------------
+    @property
+    def works(self) -> list[TokenWork]:
+        return [item.work for item in self.items]
+
+    @property
+    def requests(self) -> list[Request]:
+        return [item.request for item in self.items]
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    @property
+    def num_tokens(self) -> int:
+        return sum(item.work.num_tokens for item in self.items)
+
+    @property
+    def num_prefill_tokens(self) -> int:
+        return sum(item.work.num_tokens for item in self.items if item.work.is_prefill)
+
+    @property
+    def num_decode_tokens(self) -> int:
+        return sum(
+            item.work.num_tokens for item in self.items if not item.work.is_prefill
+        )
+
+    @property
+    def num_decode_seqs(self) -> int:
+        return sum(1 for item in self.items if not item.work.is_prefill)
+
+    @property
+    def num_prefill_seqs(self) -> int:
+        return sum(1 for item in self.items if item.work.is_prefill)
+
+    @property
+    def is_hybrid(self) -> bool:
+        """Whether the batch mixes prefill and decode work (Orca/Sarathi)."""
+        return self.num_prefill_seqs > 0 and self.num_decode_seqs > 0
+
+    def describe(self) -> str:
+        """Short human-readable composition summary for timelines."""
+        return (
+            f"batch#{self.batch_id}[{self.num_prefill_seqs}p/"
+            f"{self.num_decode_seqs}d, {self.num_tokens}tok]"
+        )

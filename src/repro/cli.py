@@ -1,0 +1,231 @@
+"""Command-line interface: quick simulations without writing code.
+
+Examples::
+
+    python -m repro list
+    python -m repro simulate --model yi-34b --tp 2 --dataset arxiv_summarization \
+        --scheduler vllm --qps 0.4 --requests 96
+    python -m repro capacity --model mistral-7b --dataset openchat_sharegpt4 \
+        --scheduler sarathi --slo strict
+    python -m repro budget --model llama2-70b --gpu a40-48gb --tp 4 --pp 2
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import Deployment, ServingConfig, simulate
+from repro.experiments.capacity_runner import measure_capacity, serving_config_for
+from repro.experiments.common import Scale
+from repro.hardware.catalog import ETHERNET_100G, get_gpu
+from repro.metrics.slo import derived_slo
+from repro.models.catalog import get_model, list_models
+from repro.parallel.config import ParallelConfig
+from repro.perf.profiler import (
+    compute_token_budget,
+    derive_slo,
+    profile_token_budgets,
+    reference_decode_time,
+)
+from repro.types import SchedulerKind
+from repro.workload.datasets import generate_requests, get_dataset
+
+
+def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="mistral-7b", help="model name (see `list`)")
+    parser.add_argument("--gpu", default="a100-80gb", help="GPU SKU")
+    parser.add_argument("--tp", type=int, default=1, help="tensor-parallel degree")
+    parser.add_argument("--pp", type=int, default=1, help="pipeline-parallel degree")
+    parser.add_argument(
+        "--cross-node-pp",
+        action="store_true",
+        help="use 100G Ethernet for the pipeline link (default NVLink)",
+    )
+
+
+def _deployment_from(args: argparse.Namespace) -> Deployment:
+    pp_link = ETHERNET_100G if args.cross_node_pp else None
+    kwargs = {"tensor_parallel": args.tp, "pipeline_parallel": args.pp}
+    if pp_link is not None:
+        kwargs["pp_link"] = pp_link
+    return Deployment(
+        model=get_model(args.model),
+        gpu=get_gpu(args.gpu),
+        parallel=ParallelConfig(**kwargs),
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("models:   ", ", ".join(list_models()))
+    print("datasets: ", "openchat_sharegpt4, arxiv_summarization")
+    print("schedulers:", ", ".join(kind.value for kind in SchedulerKind))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    deployment = _deployment_from(args)
+    dataset = get_dataset(args.dataset)
+    trace = generate_requests(
+        dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
+    )
+    config = ServingConfig(
+        scheduler=SchedulerKind(args.scheduler), token_budget=args.token_budget
+    )
+    _, metrics = simulate(deployment, config, trace)
+    print(f"deployment: {deployment.label}")
+    print(f"scheduler:  {args.scheduler} (budget {args.token_budget})")
+    print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
+    print()
+    print(f"median TTFT          {metrics.median_ttft:8.3f} s")
+    print(f"P99 TBT              {metrics.p99_tbt:8.3f} s")
+    print(f"max TBT              {metrics.max_tbt:8.3f} s")
+    print(f"median sched delay   {metrics.median_scheduling_delay:8.3f} s")
+    print(f"throughput           {metrics.throughput_tokens_per_s:8.0f} tok/s")
+    print(f"preemptions          {metrics.num_preemptions:8d}")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    deployment = _deployment_from(args)
+    dataset = get_dataset(args.dataset)
+    strict = args.slo == "strict"
+    slo = derived_slo(deployment.execution_model(), strict=strict)
+    scheduler = SchedulerKind(args.scheduler)
+    config = serving_config_for(deployment, scheduler, strict)
+    scale = Scale(
+        num_requests=args.requests,
+        capacity_rel_tol=0.15,
+        capacity_max_probes=args.probes,
+    )
+    print(f"searching capacity for {deployment.label} / {scheduler.value} on "
+          f"{dataset.name} under {slo.name} SLO (P99 TBT <= {slo.p99_tbt:.3f} s)…")
+    result = measure_capacity(
+        deployment, scheduler, dataset, slo, scale, config=config, qps_hint=args.qps_hint
+    )
+    print(f"capacity: {result.capacity_qps:.2f} qps ({result.num_probes} probes)")
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    deployment = _deployment_from(args)
+    exec_model = deployment.execution_model()
+    print(f"deployment: {deployment.label}")
+    print(f"reference decode TBT: {reference_decode_time(exec_model) * 1e3:.1f} ms")
+    for strict in (True, False):
+        slo = derive_slo(exec_model, strict)
+        budget = compute_token_budget(exec_model, slo)
+        name = "strict" if strict else "relaxed"
+        print(f"{name:8s} SLO {slo * 1e3:7.1f} ms -> token budget {budget}")
+    if args.profile:
+        print("\nbudget profile:")
+        slo = derive_slo(exec_model, strict=True)
+        for p in profile_token_budgets(exec_model, slo):
+            marker = "ok" if p.meets_slo else "violates strict SLO"
+            print(f"  {p.token_budget:6d} tokens -> {p.iteration_time * 1e3:8.1f} ms  {marker}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.reporting import compare_schedulers, render_markdown
+
+    deployment = _deployment_from(args)
+    dataset = get_dataset(args.dataset)
+    trace = generate_requests(
+        dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
+    )
+    rows = compare_schedulers(deployment, trace, token_budget=args.token_budget)
+    title = (
+        f"{deployment.label} on {dataset.name} "
+        f"({args.requests} requests @ {args.qps} qps)"
+    )
+    print(render_markdown(rows, title=title))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.common import DEFAULT, FULL, SMOKE
+    from repro.experiments.registry import list_figures, reproduce_figure
+
+    if args.figure is None:
+        print("reproducible figures/tables:")
+        for entry in list_figures():
+            tag = " (capacity search — slow)" if entry.expensive else ""
+            print(f"  {entry.figure_id:8s} {entry.title}{tag}")
+        return 0
+    scale = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}[args.scale]
+    print(reproduce_figure(args.figure, scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sarathi-Serve reproduction: simulate LLM serving schedulers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models, datasets and schedulers").set_defaults(
+        func=_cmd_list
+    )
+
+    sim = sub.add_parser("simulate", help="run one trace and print latency metrics")
+    _add_deployment_args(sim)
+    sim.add_argument("--dataset", default="openchat_sharegpt4")
+    sim.add_argument("--scheduler", default="sarathi",
+                     choices=[k.value for k in SchedulerKind])
+    sim.add_argument("--qps", type=float, default=1.0)
+    sim.add_argument("--requests", type=int, default=128)
+    sim.add_argument("--token-budget", type=int, default=512)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_cmd_simulate)
+
+    cap = sub.add_parser("capacity", help="search the max sustainable QPS under an SLO")
+    _add_deployment_args(cap)
+    cap.add_argument("--dataset", default="openchat_sharegpt4")
+    cap.add_argument("--scheduler", default="sarathi",
+                     choices=[k.value for k in SchedulerKind])
+    cap.add_argument("--slo", choices=["strict", "relaxed"], default="strict")
+    cap.add_argument("--requests", type=int, default=128)
+    cap.add_argument("--probes", type=int, default=12)
+    cap.add_argument("--qps-hint", type=float, default=1.0)
+    cap.set_defaults(func=_cmd_capacity)
+
+    budget = sub.add_parser("budget", help="derive SLOs and token budgets (§4.3)")
+    _add_deployment_args(budget)
+    budget.add_argument("--profile", action="store_true", help="print the full profile")
+    budget.set_defaults(func=_cmd_budget)
+
+    compare = sub.add_parser(
+        "compare", help="run all four schedulers on one trace, print a table"
+    )
+    _add_deployment_args(compare)
+    compare.add_argument("--dataset", default="openchat_sharegpt4")
+    compare.add_argument("--qps", type=float, default=1.0)
+    compare.add_argument("--requests", type=int, default=96)
+    compare.add_argument("--token-budget", type=int, default=512)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="re-run a paper figure/table and print its rows"
+    )
+    reproduce.add_argument(
+        "figure",
+        nargs="?",
+        default=None,
+        help="figure id (e.g. fig14, table4); omit to list all",
+    )
+    reproduce.add_argument(
+        "--scale", choices=["smoke", "default", "full"], default="smoke"
+    )
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

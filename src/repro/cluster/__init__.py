@@ -1,0 +1,12 @@
+"""Multi-replica serving: routers and fleet simulation."""
+
+from repro.cluster.cluster import ClusterResult, simulate_cluster
+from repro.cluster.router import LeastTokensRouter, RoundRobinRouter, Router
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastTokensRouter",
+    "ClusterResult",
+    "simulate_cluster",
+]

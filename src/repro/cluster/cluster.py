@@ -1,0 +1,95 @@
+"""Multi-replica serving: route a trace across independent replicas.
+
+Replicas do not share KV cache or batches, so once the router has
+assigned requests, each replica simulates independently and the
+metrics merge.  This is how the paper's "capacity per replica" results
+extend to fleet sizing: capacity scales near-linearly with replicas as
+long as routing keeps the load balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment, ServingConfig, build_engine, clone_requests
+from repro.cluster.router import LeastTokensRouter, Router
+from repro.engine.replica import SimulationResult
+from repro.metrics.summary import RunMetrics, summarize
+from repro.types import Request
+
+
+@dataclass
+class ClusterResult:
+    """Per-replica results plus the merged view."""
+
+    replica_results: list[SimulationResult]
+    assignments: list[int]
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replica_results)
+
+    def merged(self) -> SimulationResult:
+        """A fleet-wide view for metric aggregation."""
+        requests: list[Request] = []
+        records = []
+        makespan = 0.0
+        preemptions = 0
+        unfinished: list[Request] = []
+        for result in self.replica_results:
+            requests.extend(result.requests)
+            records.extend(result.records)
+            makespan = max(makespan, result.makespan)
+            preemptions += result.num_preemptions
+            unfinished.extend(result.unfinished)
+        return SimulationResult(
+            requests=requests,
+            records=records,
+            makespan=makespan,
+            num_stages=self.replica_results[0].num_stages,
+            num_preemptions=preemptions,
+            unfinished=unfinished,
+        )
+
+
+def simulate_cluster(
+    deployment: Deployment,
+    config: ServingConfig,
+    requests: list[Request],
+    num_replicas: int,
+    router: Router | None = None,
+) -> tuple[ClusterResult, RunMetrics]:
+    """Route a trace across ``num_replicas`` and simulate each.
+
+    The input trace is cloned (like :func:`repro.api.simulate`), so it
+    can be replayed across fleet sizes and router policies.
+    """
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    if not requests:
+        raise ValueError("simulate_cluster needs at least one request")
+    router = router or LeastTokensRouter(num_replicas)
+    if router.num_replicas != num_replicas:
+        raise ValueError(
+            f"router is configured for {router.num_replicas} replicas, "
+            f"cluster has {num_replicas}"
+        )
+
+    cloned = clone_requests(requests)
+    per_replica: list[list[Request]] = [[] for _ in range(num_replicas)]
+    assignments = []
+    for request in sorted(cloned, key=lambda r: r.arrival_time):
+        replica = router.route(request)
+        if not 0 <= replica < num_replicas:
+            raise ValueError(f"router returned invalid replica {replica}")
+        per_replica[replica].append(request)
+        assignments.append(replica)
+
+    results = []
+    for assigned in per_replica:
+        if not assigned:
+            continue
+        engine = build_engine(deployment, config)
+        results.append(engine.run(assigned))
+    cluster_result = ClusterResult(replica_results=results, assignments=assignments)
+    return cluster_result, summarize(cluster_result.merged())

@@ -1,0 +1,59 @@
+"""Request routers for multi-replica serving.
+
+Routing happens at arrival time using only information available to a
+real front-end at that moment: the request's prompt/output lengths and
+each replica's outstanding assigned work.  (True join-shortest-queue
+with live engine state would couple the replica simulations; the
+assigned-work heuristic is what production gateways typically run.)
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.types import Request
+
+
+class Router(abc.ABC):
+    """Assigns each arriving request to a replica index."""
+
+    def __init__(self, num_replicas: int) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.num_replicas = num_replicas
+
+    @abc.abstractmethod
+    def route(self, request: Request) -> int:
+        """Replica index in ``[0, num_replicas)`` for this request."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas regardless of request size."""
+
+    def __init__(self, num_replicas: int) -> None:
+        super().__init__(num_replicas)
+        self._next = 0
+
+    def route(self, request: Request) -> int:
+        choice = self._next
+        self._next = (self._next + 1) % self.num_replicas
+        return choice
+
+
+class LeastTokensRouter(Router):
+    """Send to the replica with the fewest outstanding assigned tokens.
+
+    Outstanding work is tracked as the total (prompt + expected output)
+    tokens assigned so far, decayed by nothing — a conservative
+    front-end estimate that balances heavy-tailed prompt lengths much
+    better than round-robin.
+    """
+
+    def __init__(self, num_replicas: int) -> None:
+        super().__init__(num_replicas)
+        self._assigned_tokens = [0] * num_replicas
+
+    def route(self, request: Request) -> int:
+        choice = min(range(self.num_replicas), key=lambda i: self._assigned_tokens[i])
+        self._assigned_tokens[choice] += request.total_len
+        return choice

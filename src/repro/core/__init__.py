@@ -1,0 +1,14 @@
+"""The paper's primary contribution: chunked-prefills + stall-free batching."""
+
+from repro.core.chunking import get_next_chunk_size, num_chunks
+from repro.core.dynamic import DynamicSarathiScheduler
+from repro.core.fairness import FairSarathiScheduler
+from repro.core.sarathi import SarathiScheduler
+
+__all__ = [
+    "SarathiScheduler",
+    "DynamicSarathiScheduler",
+    "FairSarathiScheduler",
+    "get_next_chunk_size",
+    "num_chunks",
+]

@@ -1,0 +1,49 @@
+"""Chunk-size policy for chunked-prefills (§4.1, §4.3).
+
+``get_next_chunk_size`` decides how many prompt tokens of a request fit
+into the current iteration's leftover token budget.  Optionally the
+chunk is aligned down to the GPU matmul tile so partial tiles are not
+wasted (tile-quantization, §4.3) — except for the prompt's final piece,
+which must be taken whole to finish the prefill.
+"""
+
+from __future__ import annotations
+
+from repro.types import Request
+
+
+def get_next_chunk_size(
+    request: Request,
+    token_budget: int,
+    tokens_used: int,
+    tile_align: int | None = None,
+) -> int:
+    """Prompt tokens of ``request`` to prefill within the leftover budget.
+
+    Returns 0 when the budget is exhausted or the request has no
+    prefill work left.  Mirrors lines 11/15 of Algorithm 3.
+    """
+    if token_budget <= 0:
+        raise ValueError("token_budget must be positive")
+    if tokens_used < 0:
+        raise ValueError("tokens_used must be non-negative")
+    leftover = token_budget - tokens_used
+    if leftover <= 0:
+        return 0
+    chunk = min(request.remaining_prefill, leftover)
+    if chunk <= 0:
+        return 0
+    if tile_align and chunk < request.remaining_prefill:
+        # Align mid-prompt chunks down to the tile; never below one
+        # tile (a zero chunk would starve the prefill).
+        aligned = (chunk // tile_align) * tile_align
+        if aligned > 0:
+            chunk = aligned
+    return chunk
+
+
+def num_chunks(prompt_len: int, chunk_size: int) -> int:
+    """Number of iterations a prompt needs at a fixed chunk size."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return (prompt_len + chunk_size - 1) // chunk_size

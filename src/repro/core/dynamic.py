@@ -1,0 +1,107 @@
+"""Dynamic token budgets — the paper's stated future work (§5.1).
+
+The static token budget is provisioned for a *worst-case* decode batch
+(32 requests at 4k context, §4.3), so iterations with fewer or shorter
+decodes leave SLO headroom unused.  ``DynamicSarathiScheduler`` re-runs
+the §4.3 profiling decision every iteration against the *actual*
+decode pool: it picks the largest tile-aligned budget whose predicted
+iteration latency still meets the TBT SLO.
+
+The scheduler stays policy-pure: it receives an opaque cost oracle
+``works -> seconds`` (in practice the roofline model, in a real system
+a profiled lookup table) rather than reaching into the execution model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.batch import ScheduledWork
+from repro.core.sarathi import SarathiScheduler
+from repro.memory.block_manager import MemoryManager
+from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE
+from repro.types import TokenWork
+
+IterationCostFn = Callable[[Sequence[TokenWork]], float]
+
+
+class DynamicSarathiScheduler(SarathiScheduler):
+    """Sarathi-Serve with a per-iteration, SLO-driven token budget."""
+
+    name = "sarathi-dynamic"
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        tbt_slo: float,
+        iteration_cost: IterationCostFn,
+        min_budget: int = 128,
+        max_budget: int = 8192,
+        budget_step: int = 128,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    ) -> None:
+        if tbt_slo <= 0:
+            raise ValueError("tbt_slo must be positive")
+        if not 0 < min_budget <= max_budget:
+            raise ValueError("need 0 < min_budget <= max_budget")
+        if budget_step <= 0:
+            raise ValueError("budget_step must be positive")
+        super().__init__(
+            memory, token_budget=min_budget, max_batch_size=max_batch_size
+        )
+        self.tbt_slo = tbt_slo
+        self.iteration_cost = iteration_cost
+        self.min_budget = min_budget
+        self.max_budget = max_budget
+        self.budget_step = budget_step
+        self.budget_history: list[int] = []
+
+    def _build_batch(self, now: float) -> list[ScheduledWork]:
+        self.token_budget = self._pick_budget()
+        self.budget_history.append(self.token_budget)
+        return super()._build_batch(now)
+
+    # ------------------------------------------------------------------
+    def _pick_budget(self) -> int:
+        """Largest budget whose predicted iteration fits the SLO.
+
+        The prediction prices the *current* decode pool plus one
+        prefill chunk filling the leftover budget, attending one
+        budget's worth of cached past — the same worst-case chunk shape
+        the static §4.3 profiling uses, but with live decode state.
+        The cost of a hybrid iteration is monotone in the budget, so a
+        bisection over the step grid suffices.
+        """
+        decode_contexts = [
+            r.context_len
+            for r in self._schedulable_running()
+            if r.is_prefill_complete
+        ]
+        lo = self.min_budget
+        if not self._fits(lo, decode_contexts):
+            return self.min_budget
+        hi = self.max_budget
+        if self._fits(hi, decode_contexts):
+            return self.max_budget
+        while hi - lo > self.budget_step:
+            mid = lo + (hi - lo) // (2 * self.budget_step) * self.budget_step
+            if mid == lo:
+                break
+            if self._fits(mid, decode_contexts):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _fits(self, budget: int, decode_contexts: list[int]) -> bool:
+        works = [TokenWork.decode(ctx) for ctx in decode_contexts]
+        prefill_tokens = budget - len(works)
+        if prefill_tokens > 0:
+            works.append(
+                TokenWork.prefill_chunk(
+                    prefill_tokens, past_len=budget, is_last=False
+                )
+            )
+        if not works:
+            return True
+        return self.iteration_cost(works) <= self.tbt_slo

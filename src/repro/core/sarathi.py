@@ -1,0 +1,131 @@
+"""Sarathi-Serve's stall-free batching scheduler (Algorithm 3).
+
+The paper's primary contribution.  Every iteration is built under a
+fixed *token budget* τ derived from the TBT SLO (§4.3):
+
+1. all ongoing decodes join first (one token each, lines 6-8);
+2. then the next chunk of any partially prefilled request (lines 9-12);
+3. only then are new requests admitted, each contributing a prefill
+   chunk no larger than the leftover budget (lines 13-20).
+
+Because the iteration's total token count never exceeds τ, its latency
+is bounded and nearly independent of prompt lengths — decodes never
+stall behind a long prefill, yet prefill work rides along in the slack
+of memory-bound decode batches (Takeaway-2).
+"""
+
+from __future__ import annotations
+
+from repro.batch import ScheduledWork
+from repro.core.chunking import get_next_chunk_size
+from repro.memory.block_manager import MemoryManager
+from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
+from repro.types import Request, TokenWork
+
+
+class SarathiScheduler(Scheduler):
+    """Stall-free batching with chunked prefills under a token budget."""
+
+    name = "sarathi"
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        token_budget: int,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        chunk_prefills: bool = True,
+        tile_align: int | None = None,
+        preemption_mode: str = "recompute",
+        kv_bytes_per_token: int = 0,
+    ) -> None:
+        """``chunk_prefills=False`` gives the hybrid-batching-only ablation:
+        stall-free ordering is kept but prompts are never split, so one
+        long prompt can still blow up an iteration (Table 4)."""
+        super().__init__(
+            memory,
+            max_batch_size,
+            preemption_mode=preemption_mode,
+            kv_bytes_per_token=kv_bytes_per_token,
+        )
+        if token_budget <= 0:
+            raise ValueError("token_budget must be positive")
+        self.token_budget = token_budget
+        self.chunk_prefills = chunk_prefills
+        self.tile_align = tile_align
+
+    def _build_batch(self, now: float) -> list[ScheduledWork]:
+        items: list[ScheduledWork] = []
+        tokens_used = 0
+
+        # Lines 6-8: every running decode joins — this is what makes the
+        # schedule stall-free.
+        decodes: list[Request] = []
+        partial_prefills: list[Request] = []
+        for request in self._schedulable_running():
+            if request.is_prefill_complete:
+                decodes.append(request)
+            else:
+                partial_prefills.append(request)
+
+        # FCFS order matters: ``_prepare_decode`` may preempt the
+        # latest-arrived runner, which must not already be in ``items``.
+        for request in sorted(decodes, key=lambda r: r.arrival_time):
+            if len(items) >= self.max_batch_size:
+                break
+            if request not in self.running:
+                continue  # evicted by an earlier preemption
+            if not self._prepare_decode(request):
+                continue
+            items.append(
+                ScheduledWork(request=request, work=TokenWork.decode(request.context_len))
+            )
+            tokens_used += 1
+
+        # Lines 9-12: continue partially completed prefills before
+        # admitting anything new.
+        for request in partial_prefills:
+            if len(items) >= self.max_batch_size:
+                break
+            if request not in self.running:
+                continue  # evicted by a preemption above
+            chunk = self._chunk_for(request, tokens_used)
+            if chunk <= 0:
+                break
+            items.append(self._prefill_item(request, chunk))
+            tokens_used += chunk
+
+        # Lines 13-20: admit new requests within the leftover budget.
+        while len(items) < self.max_batch_size and tokens_used < self.token_budget:
+            head = self.waiting[0] if self.waiting else None
+            if head is None:
+                break
+            chunk = self._chunk_for(head, tokens_used)
+            if chunk <= 0:
+                break
+            admitted = self._admit_waiting_head()
+            if admitted is None:
+                break  # memory full
+            items.append(self._prefill_item(admitted, chunk))
+            tokens_used += chunk
+        return items
+
+    # ------------------------------------------------------------------
+    def _chunk_for(self, request: Request, tokens_used: int) -> int:
+        if not self.chunk_prefills:
+            # Hybrid-batching-only ablation: whole prompts, no budget cap
+            # on prefill size (the budget still gates *whether* more new
+            # requests join, bounding runaway batch growth).
+            return request.remaining_prefill if tokens_used < self.token_budget else 0
+        return get_next_chunk_size(
+            request, self.token_budget, tokens_used, self.tile_align
+        )
+
+    @staticmethod
+    def _prefill_item(request: Request, chunk: int) -> ScheduledWork:
+        is_last = chunk >= request.remaining_prefill
+        return ScheduledWork(
+            request=request,
+            work=TokenWork.prefill_chunk(
+                chunk, past_len=request.prefill_done, is_last=is_last
+            ),
+        )

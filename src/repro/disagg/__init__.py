@@ -1,0 +1,5 @@
+"""Disaggregated prefill/decode serving (the §6 comparison point)."""
+
+from repro.disagg.engine import DisaggregatedEngine, DisaggregatedResult
+
+__all__ = ["DisaggregatedEngine", "DisaggregatedResult"]

@@ -1,0 +1,6 @@
+"""Discrete-event serving engine."""
+
+from repro.engine.replica import ReplicaEngine, SimulationResult
+from repro.engine.simulator import EventQueue
+
+__all__ = ["EventQueue", "ReplicaEngine", "SimulationResult"]

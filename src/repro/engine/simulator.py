@@ -1,0 +1,45 @@
+"""Minimal discrete-event core: a clock and an ordered event queue.
+
+Events are ``(time, kind, payload)``; ties break by insertion order so
+the simulation is fully deterministic for a given input.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of timestamped events."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        if time < self.now - 1e-9:
+            raise ValueError(f"cannot schedule event at {time} before now={self.now}")
+        heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))
+
+    def pop(self) -> tuple[float, str, Any]:
+        entry = heapq.heappop(self._heap)
+        self.now = entry.time
+        return entry.time, entry.kind, entry.payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

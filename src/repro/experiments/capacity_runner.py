@@ -1,0 +1,130 @@
+"""Shared capacity-search runner used by the Fig. 10-13 experiments.
+
+One call = one bar in the paper's capacity figures: a (deployment,
+scheduler, dataset, SLO) tuple searched for its maximum sustainable
+QPS.  SLOs are derived from the substrate's own reference decode
+latency (5×/25×, §5.1) so strictness is self-consistent with the
+simulator's calibration; token budgets follow the paper's choices
+(512 strict / 2048 relaxed / 1536 for LLaMA2-70B relaxed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment, ServingConfig, simulate
+from repro.experiments.common import (
+    LLAMA_RELAXED_TOKEN_BUDGET,
+    RELAXED_TOKEN_BUDGET,
+    STRICT_TOKEN_BUDGET,
+    Scale,
+)
+from repro.metrics.capacity import CapacityResult, find_capacity
+from repro.metrics.slo import SLOSpec, derived_slo
+from repro.types import SchedulerKind
+from repro.workload.datasets import DatasetSpec, generate_requests
+
+
+@dataclass(frozen=True)
+class CapacityCell:
+    """One bar of a capacity figure."""
+
+    deployment: str
+    scheduler: str
+    dataset: str
+    slo_name: str
+    slo_p99_tbt: float
+    capacity_qps: float
+    num_probes: int
+
+
+def token_budget_for(deployment: Deployment, strict: bool) -> int:
+    """The paper's token budget for an SLO regime (§5.1)."""
+    if strict:
+        return STRICT_TOKEN_BUDGET
+    if deployment.model.name.lower() == "llama2-70b":
+        return LLAMA_RELAXED_TOKEN_BUDGET
+    return RELAXED_TOKEN_BUDGET
+
+
+def serving_config_for(
+    deployment: Deployment,
+    scheduler: SchedulerKind,
+    strict: bool,
+    max_batch_size: int = 128,
+    token_budget: int | None = None,
+) -> ServingConfig:
+    """A scheduler's serving config for one SLO regime."""
+    budget = token_budget or token_budget_for(deployment, strict)
+    reserve_len = 16384  # worst-case sequence across both datasets
+    return ServingConfig(
+        scheduler=scheduler,
+        token_budget=budget,
+        max_batch_size=max_batch_size,
+        reserve_len=reserve_len,
+    )
+
+
+# Each capacity probe must offer load for at least this long; with a
+# fixed request count, high-QPS probes would otherwise finish arriving
+# before any request completes, hiding both stalls and queue growth.
+MIN_LOAD_DURATION = 60.0
+
+
+def measure_capacity(
+    deployment: Deployment,
+    scheduler: SchedulerKind,
+    dataset: DatasetSpec,
+    slo: SLOSpec,
+    scale: Scale,
+    config: ServingConfig | None = None,
+    strict: bool | None = None,
+    qps_hint: float = 0.5,
+    min_load_duration: float = MIN_LOAD_DURATION,
+) -> CapacityResult:
+    """Search the maximum sustainable QPS for one configuration."""
+    if config is None:
+        if strict is None:
+            raise ValueError("pass either config or strict")
+        config = serving_config_for(deployment, scheduler, strict)
+
+    def run_at_qps(qps: float):
+        num_requests = max(scale.num_requests, int(qps * min_load_duration))
+        trace = generate_requests(
+            dataset, num_requests=num_requests, qps=qps, seed=scale.seed
+        )
+        _, metrics = simulate(deployment, config, trace)
+        return metrics
+
+    return find_capacity(
+        run_at_qps,
+        slo,
+        qps_lo=qps_hint / 4,
+        qps_hi=qps_hint,
+        rel_tol=scale.capacity_rel_tol,
+        max_probes=scale.capacity_max_probes,
+    )
+
+
+def capacity_cell(
+    deployment: Deployment,
+    scheduler: SchedulerKind,
+    dataset: DatasetSpec,
+    strict: bool,
+    scale: Scale,
+    qps_hint: float = 0.5,
+) -> CapacityCell:
+    """Convenience wrapper returning a flat result row."""
+    slo = derived_slo(deployment.execution_model(), strict)
+    result = measure_capacity(
+        deployment, scheduler, dataset, slo, scale, strict=strict, qps_hint=qps_hint
+    )
+    return CapacityCell(
+        deployment=deployment.label,
+        scheduler=scheduler.value,
+        dataset=dataset.name,
+        slo_name=slo.name,
+        slo_p99_tbt=slo.p99_tbt,
+        capacity_qps=result.capacity_qps,
+        num_probes=result.num_probes,
+    )

@@ -1,0 +1,52 @@
+"""Figure 3: prefill vs decode throughput as batch size grows.
+
+Mistral-7B on one A100, prompt length 1024 for both phases.  Prefill
+throughput saturates at batch size 1 (compute-bound); decode
+throughput scales almost linearly with batch size (memory-bound) —
+Takeaway-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment
+from repro.experiments.common import mistral_deployment
+from repro.types import TokenWork
+
+PROMPT_LEN = 1024
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class PhaseThroughputPoint:
+    """Throughput of one phase at one batch size."""
+
+    batch_size: int
+    prefill_tokens_per_s: float
+    decode_tokens_per_s: float
+
+
+def run_phase_throughput(
+    deployment: Deployment | None = None,
+    prompt_len: int = PROMPT_LEN,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+) -> list[PhaseThroughputPoint]:
+    """Sweep batch size and measure per-phase throughput."""
+    deployment = deployment or mistral_deployment()
+    exec_model = deployment.execution_model()
+    points = []
+    for batch_size in batch_sizes:
+        prefill_works = [
+            TokenWork.prefill_chunk(prompt_len) for _ in range(batch_size)
+        ]
+        prefill_time = exec_model.iteration_time(prefill_works).total
+        decode_time = exec_model.decode_iteration_time(batch_size, prompt_len).total
+        points.append(
+            PhaseThroughputPoint(
+                batch_size=batch_size,
+                prefill_tokens_per_s=batch_size * prompt_len / prefill_time,
+                decode_tokens_per_s=batch_size / decode_time,
+            )
+        )
+    return points

@@ -1,0 +1,102 @@
+"""Figure 4: where iteration time goes — linear vs attention vs others.
+
+Mistral-7B on one A100 across input sizes.  Linear operators dominate
+both phases (>80% even at long sequences); attention grows
+quadratically with sequence length during prefill but stays a minority
+share.  The paper's companion observation: one decode token's linear
+cost ≈ 128 prefill tokens' linear cost (skinny GEMMs are memory-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment
+from repro.experiments.common import mistral_deployment
+from repro.types import TokenWork
+
+SEQUENCE_LENGTHS = (128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """Time decomposition of one iteration."""
+
+    phase: str
+    seq_len: int
+    total: float
+    linear: float
+    attention: float
+    others: float
+    overhead_and_comm: float
+
+    @property
+    def linear_fraction(self) -> float:
+        return self.linear / self.total if self.total else 0.0
+
+
+def run_breakdown(
+    deployment: Deployment | None = None,
+    seq_lens: tuple[int, ...] = SEQUENCE_LENGTHS,
+    decode_batch_size: int = 32,
+) -> list[BreakdownRow]:
+    """Prefill and decode time decomposition across sequence lengths."""
+    deployment = deployment or mistral_deployment()
+    exec_model = deployment.execution_model()
+    rows = []
+    for seq_len in seq_lens:
+        prefill = exec_model.iteration_time([TokenWork.prefill_chunk(seq_len)])
+        rows.append(
+            BreakdownRow(
+                phase="prefill",
+                seq_len=seq_len,
+                total=prefill.total,
+                linear=prefill.linear,
+                attention=prefill.attention,
+                others=prefill.others,
+                overhead_and_comm=prefill.overhead + prefill.communication,
+            )
+        )
+        decode = exec_model.decode_iteration_time(decode_batch_size, seq_len)
+        rows.append(
+            BreakdownRow(
+                phase="decode",
+                seq_len=seq_len,
+                total=decode.total,
+                linear=decode.linear,
+                attention=decode.attention,
+                others=decode.others,
+                overhead_and_comm=decode.overhead + decode.communication,
+            )
+        )
+    return rows
+
+
+def decode_vs_prefill_linear_parity(
+    deployment: Deployment | None = None,
+    tolerance: float = 1.10,
+) -> float:
+    """How many prefill tokens cost (about) the same *linear* time as 1
+    decode token.
+
+    While a batch sits in the memory-bound regime, adding tokens is
+    nearly free: the largest token count whose linear time is within
+    ``tolerance`` of the single-token time.  The paper reports ≈128 for
+    Mistral-7B on an A100 (Fig. 4 caption).
+    """
+    deployment = deployment or mistral_deployment()
+    exec_model = deployment.execution_model()
+    budget = tolerance * exec_model.linear.stage_time(1)
+    lo, hi = 1, 1
+    while exec_model.linear.stage_time(hi * 2) <= budget and hi < 65536:
+        hi *= 2
+    lo = hi
+    hi = hi * 2
+    # Bisect for the largest count still under the budget.
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if exec_model.linear.stage_time(mid) <= budget:
+            lo = mid
+        else:
+            hi = mid
+    return float(lo)

@@ -1,0 +1,56 @@
+"""Figure 5: arithmetic intensity of linear operators vs token count.
+
+LLaMA2-70B linear layers on four A100s (TP4).  Decode batches (tens of
+tokens) sit far below the device's ridge intensity — memory-bound —
+while prefill chunks of hundreds of tokens sit above it.  Sarathi's
+hybrid batches land near the ridge, maximizing both compute and
+bandwidth utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment
+from repro.hardware.catalog import A100_80G
+from repro.models.catalog import LLAMA2_70B
+from repro.parallel.config import ParallelConfig
+
+TOKEN_COUNTS = (1, 8, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class IntensityPoint:
+    """Arithmetic intensity of the stage's linear work at a token count."""
+
+    num_tokens: int
+    arithmetic_intensity: float
+    ridge_intensity: float
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.arithmetic_intensity < self.ridge_intensity
+
+
+def llama70_tp4_deployment() -> Deployment:
+    return Deployment(
+        model=LLAMA2_70B, gpu=A100_80G, parallel=ParallelConfig(tensor_parallel=4)
+    )
+
+
+def run_intensity_sweep(
+    deployment: Deployment | None = None,
+    token_counts: tuple[int, ...] = TOKEN_COUNTS,
+) -> list[IntensityPoint]:
+    """Arithmetic intensity of linear ops across batch token counts."""
+    deployment = deployment or llama70_tp4_deployment()
+    exec_model = deployment.execution_model()
+    ridge = deployment.gpu.ridge_intensity
+    return [
+        IntensityPoint(
+            num_tokens=n,
+            arithmetic_intensity=exec_model.linear.arithmetic_intensity(n),
+            ridge_intensity=ridge,
+        )
+        for n in token_counts
+    ]

@@ -1,0 +1,92 @@
+"""Figure 9: the latency cost of coalescing prefills with decodes.
+
+Compares two ways of piggybacking prefill work on a decode batch:
+
+* *Decode + Full Prefill* (Orca-style hybrid): the whole prompt joins
+  one iteration — latency explodes with prompt length (up to ~28× a
+  decode-only batch in the paper);
+* *Decode + Chunked Prefill* (Sarathi): only one budget-bounded chunk
+  joins — latency stays within a small factor of decode-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment
+from repro.experiments.common import mistral_deployment
+from repro.hardware.catalog import A100_80G
+from repro.models.catalog import LLAMA2_70B
+from repro.parallel.config import ParallelConfig
+from repro.types import TokenWork
+
+PROMPT_LENGTHS = (512, 1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class HybridLatencyPoint:
+    """Latency of one hybrid-batch composition, relative to decode-only."""
+
+    prompt_len: int
+    decode_batch_size: int
+    decode_only: float
+    with_full_prefill: float
+    with_chunked_prefill: float
+
+    @property
+    def full_prefill_slowdown(self) -> float:
+        return self.with_full_prefill / self.decode_only
+
+    @property
+    def chunked_prefill_slowdown(self) -> float:
+        return self.with_chunked_prefill / self.decode_only
+
+
+def llama70_tp4_deployment() -> Deployment:
+    return Deployment(
+        model=LLAMA2_70B, gpu=A100_80G, parallel=ParallelConfig(tensor_parallel=4)
+    )
+
+
+def run_hybrid_latency(
+    deployment: Deployment | None = None,
+    token_budget: int = 256,
+    decode_batch_size: int = 32,
+    decode_context: int = 1024,
+    prompt_lengths: tuple[int, ...] = PROMPT_LENGTHS,
+) -> list[HybridLatencyPoint]:
+    """Price decode-only vs hybrid-with-full vs hybrid-with-chunk batches.
+
+    The chunked variant charges the *worst* chunk of the prompt (the
+    last one, which re-reads the most KV), i.e. the worst iteration a
+    co-running decode would experience.
+    """
+    deployment = deployment or mistral_deployment()
+    exec_model = deployment.execution_model()
+    decodes = [TokenWork.decode(decode_context) for _ in range(decode_batch_size)]
+    points = []
+    for prompt_len in prompt_lengths:
+        decode_only = exec_model.iteration_time(decodes).total
+        full = exec_model.iteration_time(
+            decodes + [TokenWork.prefill_chunk(prompt_len)]
+        ).total
+        chunk = min(token_budget, prompt_len)
+        last_chunk_past = max(prompt_len - chunk, 0)
+        chunked = exec_model.iteration_time(
+            decodes
+            + [
+                TokenWork.prefill_chunk(
+                    chunk, past_len=last_chunk_past, is_last=True
+                )
+            ]
+        ).total
+        points.append(
+            HybridLatencyPoint(
+                prompt_len=prompt_len,
+                decode_batch_size=decode_batch_size,
+                decode_only=decode_only,
+                with_full_prefill=full,
+                with_chunked_prefill=chunked,
+            )
+        )
+    return points

@@ -1,0 +1,58 @@
+"""Figure 14: the overhead of chunked-prefills on prefill runtime.
+
+Yi-34B (TP2), prompt lengths 2k-16k, chunk sizes 512/1024/2048.  Each
+chunk re-reads the KV of all earlier chunks and pays fixed kernel and
+iteration overheads, so smaller chunks cost more — up to ~25% at chunk
+512 in the paper, near-negligible at 2048.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment
+from repro.experiments.common import yi_deployment
+
+PROMPT_LENGTHS = (2048, 4096, 8192, 16384)
+CHUNK_SIZES = (512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class ChunkOverheadPoint:
+    """Prefill runtime of one (prompt, chunk) pair vs unchunked."""
+
+    prompt_len: int
+    chunk_size: int
+    chunked_time: float
+    unchunked_time: float
+
+    @property
+    def overhead(self) -> float:
+        """Relative slowdown (1.0 = no overhead)."""
+        return self.chunked_time / self.unchunked_time
+
+
+def run_chunk_overhead(
+    deployment: Deployment | None = None,
+    prompt_lengths: tuple[int, ...] = PROMPT_LENGTHS,
+    chunk_sizes: tuple[int, ...] = CHUNK_SIZES,
+) -> list[ChunkOverheadPoint]:
+    """Sweep (prompt length × chunk size) prefill overheads."""
+    deployment = deployment or yi_deployment()
+    exec_model = deployment.execution_model()
+    points = []
+    for prompt_len in prompt_lengths:
+        unchunked = exec_model.full_prefill_time(prompt_len).total
+        for chunk_size in chunk_sizes:
+            if chunk_size > prompt_len:
+                continue
+            chunked = exec_model.chunked_prefill_time(prompt_len, chunk_size).total
+            points.append(
+                ChunkOverheadPoint(
+                    prompt_len=prompt_len,
+                    chunk_size=chunk_size,
+                    chunked_time=chunked,
+                    unchunked_time=unchunked,
+                )
+            )
+    return points

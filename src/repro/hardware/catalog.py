@@ -1,0 +1,57 @@
+"""Device and interconnect catalog for the paper's testbeds (Table 1)."""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.interconnect import LinkSpec
+
+GiB = 1 << 30
+
+A100_80G = GPUSpec(
+    name="A100-80GB",
+    peak_flops=312e12,
+    memory_bandwidth=2.0e12,
+    memory_capacity=80 * GiB,
+)
+
+A40_48G = GPUSpec(
+    name="A40-48GB",
+    peak_flops=149e12,
+    memory_bandwidth=696e9,
+    memory_capacity=48 * GiB,
+)
+
+H100_80G = GPUSpec(
+    name="H100-80GB",
+    peak_flops=989e12,
+    memory_bandwidth=3.35e12,
+    memory_capacity=80 * GiB,
+)
+
+# Effective per-GPU link rates (NCCL-achievable, not headline numbers).
+NVLINK = LinkSpec(name="NVLink", bandwidth=250e9, latency=5e-6)
+PCIE_4 = LinkSpec(name="PCIe-4.0", bandwidth=24e9, latency=10e-6)
+ETHERNET_100G = LinkSpec(name="Ethernet-100G", bandwidth=11e9, latency=30e-6)
+
+_GPUS: dict[str, GPUSpec] = {
+    g.name.lower(): g for g in (A100_80G, A40_48G, H100_80G)
+}
+_LINKS: dict[str, LinkSpec] = {
+    l.name.lower(): l for l in (NVLINK, PCIE_4, ETHERNET_100G)
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by case-insensitive name."""
+    key = name.lower()
+    if key not in _GPUS:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(_GPUS)}")
+    return _GPUS[key]
+
+
+def get_link(name: str) -> LinkSpec:
+    """Look up an interconnect spec by case-insensitive name."""
+    key = name.lower()
+    if key not in _LINKS:
+        raise KeyError(f"unknown link {name!r}; known: {sorted(_LINKS)}")
+    return _LINKS[key]

@@ -1,0 +1,41 @@
+"""GPU device specifications used by the roofline model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Peak capabilities of one accelerator.
+
+    ``peak_flops`` is dense half-precision throughput (FLOP/s) and
+    ``memory_bandwidth`` is HBM bandwidth (bytes/s).  The ratio of the
+    two is the *ridge point* of the roofline: operations with lower
+    arithmetic intensity are memory-bound (§3.1).
+    """
+
+    name: str
+    peak_flops: float            # FLOP/s, fp16/bf16 dense
+    memory_bandwidth: float      # bytes/s
+    memory_capacity: int         # bytes of HBM
+    matmul_tile: int = 128       # tile edge for tile-quantization effects
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError(f"{self.name}: peak rates must be positive")
+        if self.memory_capacity <= 0:
+            raise ValueError(f"{self.name}: memory_capacity must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOPs-per-byte at which compute and memory time are equal."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def math_time(self, flops: float, efficiency: float = 1.0) -> float:
+        """Seconds to execute ``flops`` at a fraction of peak compute."""
+        return flops / (self.peak_flops * efficiency)
+
+    def mem_time(self, num_bytes: float, efficiency: float = 1.0) -> float:
+        """Seconds to move ``num_bytes`` at a fraction of peak bandwidth."""
+        return num_bytes / (self.memory_bandwidth * efficiency)

@@ -1,0 +1,41 @@
+"""Interconnect link models for tensor- and pipeline-parallel traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A bidirectional communication link between GPUs or nodes.
+
+    ``bandwidth`` is the effective per-direction bandwidth available to
+    one GPU (bytes/s); ``latency`` is the fixed per-message cost in
+    seconds (software stack + wire latency).
+    """
+
+    name: str
+    bandwidth: float     # bytes/s per direction
+    latency: float       # seconds per message
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds for one point-to-point message of ``num_bytes``."""
+        return self.latency + num_bytes / self.bandwidth
+
+    def allreduce_time(self, num_bytes: float, world_size: int) -> float:
+        """Ring allreduce cost for ``num_bytes`` across ``world_size`` ranks.
+
+        Standard ring algorithm: each rank sends ``2*(n-1)/n`` of the
+        buffer, in ``2*(n-1)`` latency-bound steps.
+        """
+        if world_size <= 1:
+            return 0.0
+        steps = 2 * (world_size - 1)
+        volume = 2.0 * (world_size - 1) / world_size * num_bytes
+        return steps * self.latency + volume / self.bandwidth

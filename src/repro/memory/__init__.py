@@ -1,0 +1,25 @@
+"""KV-cache memory management: paged and reservation allocators."""
+
+from repro.memory.block_manager import (
+    DEFAULT_BLOCK_SIZE,
+    MemoryManager,
+    PagedBlockManager,
+    ReservationManager,
+)
+from repro.memory.capacity import (
+    DEFAULT_GPU_MEMORY_UTILIZATION,
+    PAGED_ACTIVATION_RESERVE_BYTES,
+    RESERVATION_ACTIVATION_RESERVE_BYTES,
+    kv_token_capacity,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "MemoryManager",
+    "PagedBlockManager",
+    "ReservationManager",
+    "DEFAULT_GPU_MEMORY_UTILIZATION",
+    "PAGED_ACTIVATION_RESERVE_BYTES",
+    "RESERVATION_ACTIVATION_RESERVE_BYTES",
+    "kv_token_capacity",
+]

@@ -1,0 +1,201 @@
+"""KV-cache allocators: paged (vLLM-style) and reservation (Orca/FT-style).
+
+The two allocation disciplines are a first-order driver of the paper's
+results: PagedAttention lets vLLM and Sarathi-Serve admit requests
+against their *current* footprint and grow block-by-block, while
+Orca/FasterTransformer must reserve a worst-case contiguous slot per
+request up front, capping their effective batch size (§5.1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.types import Request
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+class MemoryManager(abc.ABC):
+    """Admission and growth interface shared by both allocators."""
+
+    @abc.abstractmethod
+    def can_admit(self, request: Request) -> bool:
+        """Whether a *new* request's initial allocation would succeed."""
+
+    @abc.abstractmethod
+    def admit(self, request: Request) -> None:
+        """Claim the initial allocation for a new request."""
+
+    @abc.abstractmethod
+    def can_append_token(self, request: Request) -> bool:
+        """Whether one more generated token can be stored."""
+
+    @abc.abstractmethod
+    def append_token(self, request: Request) -> None:
+        """Grow the request's allocation by one token slot."""
+
+    @abc.abstractmethod
+    def free(self, request: Request) -> None:
+        """Release everything the request holds."""
+
+    @property
+    @abc.abstractmethod
+    def free_token_slots(self) -> int:
+        """Currently unclaimed token capacity."""
+
+    @abc.abstractmethod
+    def holds(self, request: Request) -> bool:
+        """Whether the request currently owns an allocation."""
+
+
+class PagedBlockManager(MemoryManager):
+    """vLLM-style paged allocator.
+
+    Requests are admitted when blocks for their *prompt* are available
+    (plus a watermark that prevents immediately thrashing) and grow one
+    block at a time during decode.  There is no fragmentation: any free
+    block serves any request.
+    """
+
+    def __init__(
+        self,
+        capacity_tokens: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        watermark: float = 0.01,
+    ) -> None:
+        if capacity_tokens <= 0:
+            raise ValueError("capacity_tokens must be positive")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if not 0.0 <= watermark < 1.0:
+            raise ValueError("watermark must be in [0, 1)")
+        self.block_size = block_size
+        self.num_blocks = capacity_tokens // block_size
+        self._watermark_blocks = int(self.num_blocks * watermark)
+        self._free_blocks = self.num_blocks
+        self._allocated: dict[int, int] = {}  # request_id -> blocks held
+
+    def blocks_for(self, num_tokens: int) -> int:
+        return (num_tokens + self.block_size - 1) // self.block_size
+
+    def _initial_blocks(self, request: Request) -> int:
+        """Blocks a (re-)admission must claim.
+
+        Fresh and recompute-restarted requests own ``prefill_target``
+        tokens of KV; a swapped-in request additionally owns its decode
+        progress (``context_len``), whichever is larger.
+        """
+        return self.blocks_for(max(request.prefill_target, request.context_len))
+
+    # -- MemoryManager ------------------------------------------------
+    def can_admit(self, request: Request) -> bool:
+        needed = self._initial_blocks(request)
+        return self._free_blocks - needed >= self._watermark_blocks
+
+    def admit(self, request: Request) -> None:
+        if request.request_id in self._allocated:
+            raise ValueError(f"request {request.request_id} already admitted")
+        needed = self._initial_blocks(request)
+        if needed > self._free_blocks:
+            raise MemoryError(
+                f"cannot admit request {request.request_id}: needs {needed} "
+                f"blocks, {self._free_blocks} free"
+            )
+        self._free_blocks -= needed
+        self._allocated[request.request_id] = needed
+
+    def can_append_token(self, request: Request) -> bool:
+        if not self._needs_new_block(request):
+            return True
+        return self._free_blocks >= 1
+
+    def append_token(self, request: Request) -> None:
+        if request.request_id not in self._allocated:
+            raise ValueError(f"request {request.request_id} holds no allocation")
+        if not self._needs_new_block(request):
+            return
+        if self._free_blocks < 1:
+            raise MemoryError("out of KV blocks")
+        self._free_blocks -= 1
+        self._allocated[request.request_id] += 1
+
+    def free(self, request: Request) -> None:
+        held = self._allocated.pop(request.request_id, 0)
+        self._free_blocks += held
+
+    @property
+    def free_token_slots(self) -> int:
+        return self._free_blocks * self.block_size
+
+    def holds(self, request: Request) -> bool:
+        return request.request_id in self._allocated
+
+    # -- internals ----------------------------------------------------
+    def _needs_new_block(self, request: Request) -> bool:
+        held_tokens = self._allocated.get(request.request_id, 0) * self.block_size
+        return request.context_len + 1 > held_tokens
+
+    @property
+    def free_blocks(self) -> int:
+        return self._free_blocks
+
+
+class ReservationManager(MemoryManager):
+    """Orca/FasterTransformer-style worst-case contiguous reservation.
+
+    Each admitted request reserves ``reserve_len`` token slots up front
+    (the engine cannot know the output length, so it must assume the
+    maximum).  Decode growth never fails — the space was prepaid — but
+    far fewer requests fit, capping batch size (§5.1).
+    """
+
+    def __init__(self, capacity_tokens: int, reserve_len: int) -> None:
+        if capacity_tokens <= 0:
+            raise ValueError("capacity_tokens must be positive")
+        if reserve_len <= 0:
+            raise ValueError("reserve_len must be positive")
+        self.capacity_tokens = capacity_tokens
+        self.reserve_len = reserve_len
+        self._free_tokens = capacity_tokens
+        self._allocated: dict[int, int] = {}
+
+    def _reservation_for(self, request: Request) -> int:
+        # A prompt longer than the nominal reservation still needs its
+        # full length reserved.
+        return max(self.reserve_len, request.prefill_target + request.remaining_output)
+
+    # -- MemoryManager ------------------------------------------------
+    def can_admit(self, request: Request) -> bool:
+        return self._free_tokens >= self._reservation_for(request)
+
+    def admit(self, request: Request) -> None:
+        if request.request_id in self._allocated:
+            raise ValueError(f"request {request.request_id} already admitted")
+        needed = self._reservation_for(request)
+        if needed > self._free_tokens:
+            raise MemoryError(
+                f"cannot admit request {request.request_id}: needs {needed} "
+                f"token slots, {self._free_tokens} free"
+            )
+        self._free_tokens -= needed
+        self._allocated[request.request_id] = needed
+
+    def can_append_token(self, request: Request) -> bool:
+        return request.request_id in self._allocated
+
+    def append_token(self, request: Request) -> None:
+        if request.request_id not in self._allocated:
+            raise ValueError(f"request {request.request_id} holds no allocation")
+        # Growth is prepaid by the reservation.
+
+    def free(self, request: Request) -> None:
+        held = self._allocated.pop(request.request_id, 0)
+        self._free_tokens += held
+
+    @property
+    def free_token_slots(self) -> int:
+        return self._free_tokens
+
+    def holds(self, request: Request) -> bool:
+        return request.request_id in self._allocated

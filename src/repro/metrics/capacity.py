@@ -1,0 +1,87 @@
+"""Capacity search: the maximum sustainable QPS under an SLO (§5.1).
+
+Capacity is the paper's headline throughput metric.  The search first
+grows the load geometrically until the SLO breaks, then bisects the
+bracketing interval to the requested relative tolerance.  Each probe
+is a full simulation at that QPS supplied by the caller, so the search
+is policy- and substrate-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.metrics.slo import SLOSpec
+from repro.metrics.summary import RunMetrics
+
+RunAtQPS = Callable[[float], RunMetrics]
+
+
+@dataclass
+class CapacityResult:
+    """Outcome of one capacity search."""
+
+    capacity_qps: float
+    slo: SLOSpec
+    probes: list[tuple[float, RunMetrics, bool]] = field(default_factory=list)
+
+    @property
+    def num_probes(self) -> int:
+        return len(self.probes)
+
+
+def find_capacity(
+    run_at_qps: RunAtQPS,
+    slo: SLOSpec,
+    qps_lo: float = 0.05,
+    qps_hi: float = 4.0,
+    rel_tol: float = 0.10,
+    max_probes: int = 20,
+) -> CapacityResult:
+    """Largest QPS whose run meets ``slo``, to ``rel_tol`` accuracy.
+
+    ``qps_lo``/``qps_hi`` seed the bracket; both ends are expanded when
+    needed (halving below ``qps_lo`` until a feasible point is found,
+    doubling above ``qps_hi`` while still feasible).  Returns 0.0 when
+    even a trickle of load violates the SLO.
+    """
+    if qps_lo <= 0 or qps_hi < qps_lo:
+        raise ValueError("need 0 < qps_lo <= qps_hi")
+    result = CapacityResult(capacity_qps=0.0, slo=slo)
+
+    def probe(qps: float) -> bool:
+        metrics = run_at_qps(qps)
+        ok = metrics.meets(slo)
+        result.probes.append((qps, metrics, ok))
+        return ok
+
+    # Find a feasible lower end.
+    lo = qps_lo
+    attempts = 0
+    while not probe(lo):
+        lo /= 4.0
+        attempts += 1
+        if attempts >= 3:
+            result.capacity_qps = 0.0
+            return result
+
+    # Grow until infeasible (or give up and accept hi as capacity).
+    hi = max(qps_hi, lo * 2)
+    while probe(hi):
+        lo = hi
+        hi *= 2.0
+        if len(result.probes) >= max_probes:
+            result.capacity_qps = lo
+            return result
+
+    # Bisect [lo feasible, hi infeasible].
+    while hi - lo > rel_tol * lo and len(result.probes) < max_probes:
+        mid = (lo + hi) / 2.0
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+
+    result.capacity_qps = lo
+    return result

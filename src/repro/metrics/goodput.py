@@ -1,0 +1,84 @@
+"""Per-request SLO attainment and goodput.
+
+Capacity (§5.1) gates on *aggregate* percentiles; the disaggregation
+papers the paper compares against (DistServe, SplitWise) instead report
+**goodput** — the rate of requests that individually met their latency
+deadlines.  Both views are useful: a system can pass an aggregate P99
+while a specific user's stream was unusable.  This module scores each
+request against a TTFT deadline and a per-token TBT deadline and
+aggregates the attainment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.types import Request
+
+if TYPE_CHECKING:
+    from repro.engine.replica import SimulationResult
+
+
+@dataclass(frozen=True)
+class RequestSLO:
+    """Per-request deadlines (seconds)."""
+
+    ttft_deadline: float
+    tbt_deadline: float
+
+    def __post_init__(self) -> None:
+        if self.ttft_deadline <= 0 or self.tbt_deadline <= 0:
+            raise ValueError("deadlines must be positive")
+
+
+def request_meets_slo(request: Request, slo: RequestSLO) -> bool:
+    """Whether one finished request met both of its deadlines."""
+    if not request.is_finished or request.ttft is None:
+        return False
+    if request.ttft > slo.ttft_deadline:
+        return False
+    return all(gap <= slo.tbt_deadline for gap in request.tbt_samples)
+
+
+@dataclass(frozen=True)
+class GoodputReport:
+    """SLO attainment of one run."""
+
+    num_requests: int
+    num_attained: int
+    goodput_rps: float          # attained requests per second of makespan
+    ttft_violations: int
+    tbt_violations: int
+
+    @property
+    def attainment(self) -> float:
+        if self.num_requests == 0:
+            return 0.0
+        return self.num_attained / self.num_requests
+
+
+def goodput(result: "SimulationResult", slo: RequestSLO) -> GoodputReport:
+    """Score every finished request against its deadlines."""
+    finished = result.finished_requests
+    attained = 0
+    ttft_violations = 0
+    tbt_violations = 0
+    for request in finished:
+        ok = True
+        if request.ttft is None or request.ttft > slo.ttft_deadline:
+            ttft_violations += 1
+            ok = False
+        if any(gap > slo.tbt_deadline for gap in request.tbt_samples):
+            tbt_violations += 1
+            ok = False
+        if ok:
+            attained += 1
+    makespan = result.makespan if result.makespan > 0 else 1.0
+    return GoodputReport(
+        num_requests=len(finished),
+        num_attained=attained,
+        goodput_rps=attained / makespan,
+        ttft_violations=ttft_violations,
+        tbt_violations=tbt_violations,
+    )

@@ -1,0 +1,63 @@
+"""Service-level objectives for capacity evaluation (§2.4, §5.1).
+
+A system's *capacity* is the maximum sustainable load under which it
+still meets the P99 TBT target and keeps scheduling delay bounded (the
+paper uses a 2-second limit on *median* scheduling delay to ensure the
+load is actually sustainable).
+
+Two ways to obtain SLO values are provided: the paper's published
+absolute thresholds (Table 3) and the derivation the paper used to
+produce them — 5× (strict) or 25× (relaxed) the latency of a
+reference decode iteration on the *same* substrate.  The derived mode
+is the default for experiments here, because it stays self-consistent
+with the simulator's calibration the same way the paper's SLOs were
+self-consistent with their testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.iteration import ExecutionModel
+from repro.perf.profiler import derive_slo
+
+MAX_MEDIAN_SCHEDULING_DELAY = 2.0
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named latency target for capacity search."""
+
+    name: str
+    p99_tbt: float
+    max_median_scheduling_delay: float = MAX_MEDIAN_SCHEDULING_DELAY
+
+    def __post_init__(self) -> None:
+        if self.p99_tbt <= 0:
+            raise ValueError("p99_tbt must be positive")
+
+
+# Table 3: absolute P99-TBT SLO thresholds in seconds (relaxed, strict).
+PAPER_SLOS: dict[str, tuple[float, float]] = {
+    "mistral-7b": (0.5, 0.1),
+    "yi-34b": (1.0, 0.2),
+    "llama2-70b": (5.0, 1.0),
+    "falcon-180b": (5.0, 1.0),
+}
+
+
+def paper_slo(model_name: str, strict: bool) -> SLOSpec:
+    """The paper's published Table 3 threshold for a model."""
+    key = model_name.lower()
+    if key not in PAPER_SLOS:
+        raise KeyError(f"no Table 3 SLO for {model_name!r}; known: {sorted(PAPER_SLOS)}")
+    relaxed, strict_value = PAPER_SLOS[key]
+    if strict:
+        return SLOSpec(name="strict", p99_tbt=strict_value)
+    return SLOSpec(name="relaxed", p99_tbt=relaxed)
+
+
+def derived_slo(exec_model: ExecutionModel, strict: bool) -> SLOSpec:
+    """SLO derived from this substrate's reference decode latency (§5.1)."""
+    name = "strict" if strict else "relaxed"
+    return SLOSpec(name=name, p99_tbt=derive_slo(exec_model, strict))

@@ -1,0 +1,32 @@
+"""Small statistics helpers shared by the metrics pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of a non-empty sample."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+def median(values: list[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def p90(values: list[float]) -> float:
+    return percentile(values, 90.0)
+
+
+def p99(values: list[float]) -> float:
+    return percentile(values, 99.0)
+
+
+def mean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("cannot take the mean of an empty sample")
+    return float(np.mean(values))

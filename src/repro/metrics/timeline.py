@@ -1,0 +1,155 @@
+"""Iteration timeline records and the analyses built on them.
+
+Every executed (stage, batch) pair leaves one ``IterationRecord``.
+From these we derive the paper's scheduling diagnostics: pipeline
+bubbles (idle gaps inside a stage's busy span, Fig. 8) and per-stage
+utilization; generation stalls (Fig. 1a) are derived from request
+token timestamps instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import IterationTime, Request
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One batch's execution on one pipeline stage."""
+
+    stage: int
+    start: float
+    end: float
+    batch_id: int
+    num_prefill_tokens: int
+    num_decode_tokens: int
+    num_prefill_seqs: int
+    num_decode_seqs: int
+    breakdown: IterationTime
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def num_tokens(self) -> int:
+        return self.num_prefill_tokens + self.num_decode_tokens
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.num_prefill_seqs > 0 and self.num_decode_seqs > 0
+
+
+@dataclass(frozen=True)
+class StageUtilization:
+    """Busy/idle accounting of one pipeline stage over its active span."""
+
+    stage: int
+    busy_time: float
+    span: float
+    num_bubbles: int
+    bubble_time: float
+
+    @property
+    def utilization(self) -> float:
+        if self.span <= 0:
+            return 0.0
+        return self.busy_time / self.span
+
+    @property
+    def bubble_fraction(self) -> float:
+        if self.span <= 0:
+            return 0.0
+        return self.bubble_time / self.span
+
+
+def stage_utilization(
+    records: list[IterationRecord],
+    stage: int,
+    min_gap: float = 1e-9,
+) -> StageUtilization:
+    """Bubble accounting for one stage: gaps between consecutive batches.
+
+    The span runs from the stage's first batch start to its last batch
+    end; every gap larger than ``min_gap`` inside the span is a bubble
+    (wasted GPU cycles, §3.3).
+    """
+    mine = sorted((r for r in records if r.stage == stage), key=lambda r: r.start)
+    if not mine:
+        return StageUtilization(stage, 0.0, 0.0, 0, 0.0)
+    busy = sum(r.duration for r in mine)
+    span = mine[-1].end - mine[0].start
+    bubbles = 0
+    bubble_time = 0.0
+    for prev, cur in zip(mine, mine[1:]):
+        gap = cur.start - prev.end
+        if gap > min_gap:
+            bubbles += 1
+            bubble_time += gap
+    return StageUtilization(stage, busy, span, bubbles, bubble_time)
+
+
+def pipeline_bubble_time(
+    records: list[IterationRecord],
+    stage: int,
+    min_gap: float = 1e-9,
+) -> tuple[int, float]:
+    """True pipeline bubbles of ``stage``: idle gaps while work existed.
+
+    A gap in this stage's schedule only wastes GPU cycles when the
+    *previous* stage was busy during it (a micro-batch was in flight
+    but not ready here yet — the paper's PB1/PB2/PB3).  Gaps where the
+    whole pipeline was drained are load idleness, not bubbles.
+    Returns ``(num_bubbles, total_bubble_seconds)``.
+    """
+    if stage <= 0:
+        return (0, 0.0)
+    mine = sorted((r for r in records if r.stage == stage), key=lambda r: r.start)
+    upstream = sorted(
+        ((r.start, r.end) for r in records if r.stage == stage - 1)
+    )
+    count = 0
+    total = 0.0
+    for prev, cur in zip(mine, mine[1:]):
+        gap_start, gap_end = prev.end, cur.start
+        if gap_end - gap_start <= min_gap:
+            continue
+        overlap = _interval_overlap(gap_start, gap_end, upstream)
+        if overlap > min_gap:
+            count += 1
+            total += overlap
+    return (count, total)
+
+
+def _interval_overlap(
+    start: float, end: float, intervals: list[tuple[float, float]]
+) -> float:
+    """Length of ``[start, end]`` covered by a sorted interval list."""
+    total = 0.0
+    for a, b in intervals:
+        if b <= start:
+            continue
+        if a >= end:
+            break
+        total += min(b, end) - max(a, start)
+    return total
+
+
+def generation_stalls(request: Request, threshold: float) -> list[float]:
+    """TBT gaps of one request exceeding ``threshold`` seconds.
+
+    A *generation stall* is a long pause between consecutive output
+    tokens of a running request, caused by prefills (or preemptions)
+    scheduled in between its decodes (§3.2, Fig. 1a).
+    """
+    return [gap for gap in request.tbt_samples if gap > threshold]
+
+
+def longest_stall(requests: list[Request]) -> float:
+    """The single worst inter-token gap across all requests."""
+    worst = 0.0
+    for request in requests:
+        for gap in request.tbt_samples:
+            worst = max(worst, gap)
+    return worst

@@ -1,0 +1,94 @@
+"""Catalog of the models evaluated in the paper (Table 1).
+
+Architectural parameters follow the public model cards.  ``get_model``
+looks up by case-insensitive name so CLI strings like ``"mistral-7b"``
+resolve naturally.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import Activation, ModelConfig
+
+MISTRAL_7B = ModelConfig(
+    name="Mistral-7B",
+    num_layers=32,
+    hidden_size=4096,
+    num_heads=32,
+    num_kv_heads=8,
+    ffn_size=14336,
+    vocab_size=32000,
+    activation=Activation.SWIGLU,
+    sliding_window=4096,
+)
+
+YI_34B = ModelConfig(
+    name="Yi-34B",
+    num_layers=60,
+    hidden_size=7168,
+    num_heads=56,
+    num_kv_heads=8,
+    ffn_size=20480,
+    vocab_size=64000,
+    activation=Activation.SWIGLU,
+)
+
+LLAMA2_70B = ModelConfig(
+    name="LLaMA2-70B",
+    num_layers=80,
+    hidden_size=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    ffn_size=28672,
+    vocab_size=32000,
+    activation=Activation.SWIGLU,
+)
+
+FALCON_180B = ModelConfig(
+    name="Falcon-180B",
+    num_layers=80,
+    hidden_size=14848,
+    num_heads=232,
+    num_kv_heads=8,
+    ffn_size=59392,
+    vocab_size=65024,
+    activation=Activation.GELU,
+    parallel_attn_mlp=True,
+)
+
+# A tiny synthetic model for fast tests and examples.
+TINY_1B = ModelConfig(
+    name="Tiny-1B",
+    num_layers=16,
+    hidden_size=2048,
+    num_heads=16,
+    num_kv_heads=4,
+    ffn_size=5632,
+    vocab_size=32000,
+    activation=Activation.SWIGLU,
+)
+
+_CATALOG: dict[str, ModelConfig] = {
+    cfg.name.lower(): cfg
+    for cfg in (MISTRAL_7B, YI_34B, LLAMA2_70B, FALCON_180B, TINY_1B)
+}
+
+
+def list_models() -> list[str]:
+    """Names of all registered models, in catalog order."""
+    return [cfg.name for cfg in _CATALOG.values()]
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model by (case-insensitive) name.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    key = name.lower()
+    if key not in _CATALOG:
+        raise KeyError(f"unknown model {name!r}; known models: {list_models()}")
+    return _CATALOG[key]
+
+
+def register_model(config: ModelConfig) -> None:
+    """Register a custom model so ``get_model`` can find it."""
+    _CATALOG[config.name.lower()] = config

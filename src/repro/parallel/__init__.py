@@ -1,0 +1,11 @@
+"""Tensor- and pipeline-parallel sharding and communication models."""
+
+from repro.parallel.config import ParallelConfig
+from repro.parallel.comm import allreduce_bytes_per_layer, pp_send_time, tp_comm_time
+
+__all__ = [
+    "ParallelConfig",
+    "allreduce_bytes_per_layer",
+    "pp_send_time",
+    "tp_comm_time",
+]

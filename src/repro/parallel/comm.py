@@ -1,0 +1,48 @@
+"""Communication cost models for TP allreduces and PP activation sends.
+
+Tensor parallelism pays two allreduces per layer (after attention and
+after the FFN, §2.3); pipeline parallelism pays one point-to-point
+activation transfer per stage boundary per micro-batch.  Both costs
+scale with the number of tokens in the batch, which is exactly why
+cross-node TP is so much more expensive than PP (Fig. 13a).
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+
+
+def allreduce_bytes_per_layer(model: ModelConfig, num_tokens: int) -> int:
+    """Bytes allreduced by one layer for a batch of ``num_tokens``."""
+    return num_tokens * model.hidden_size * model.dtype_bytes
+
+
+def tp_comm_time(
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    num_tokens: int,
+    num_layers: int,
+) -> float:
+    """Total TP allreduce time for ``num_layers`` layers of a batch."""
+    tp = parallel.tensor_parallel
+    if tp <= 1 or num_tokens <= 0:
+        return 0.0
+    per_layer = parallel.tp_link.allreduce_time(
+        allreduce_bytes_per_layer(model, num_tokens), tp
+    )
+    # Falcon-style parallel attention/MLP blocks fuse the two allreduces.
+    reduces_per_layer = 1 if model.parallel_attn_mlp else 2
+    return reduces_per_layer * per_layer * num_layers
+
+
+def pp_send_time(
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    num_tokens: int,
+) -> float:
+    """Time to ship a micro-batch's activations to the next stage."""
+    if parallel.pipeline_parallel <= 1 or num_tokens <= 0:
+        return 0.0
+    num_bytes = num_tokens * model.hidden_size * model.dtype_bytes
+    return parallel.pp_link.transfer_time(num_bytes)

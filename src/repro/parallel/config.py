@@ -1,0 +1,65 @@
+"""Tensor- and pipeline-parallel deployment configuration.
+
+A deployment shards a model over ``tp`` tensor-parallel workers per
+pipeline stage and ``pp`` pipeline stages (TP4-PP2 means 8 GPUs).
+The sharding math here is the single source of truth for both the
+perf model (per-GPU FLOPs and bytes) and the memory manager (per-GPU
+weight and KV footprints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.catalog import NVLINK
+from repro.hardware.interconnect import LinkSpec
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Degrees of tensor and pipeline parallelism plus their links."""
+
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    tp_link: LinkSpec = field(default=NVLINK)
+    pp_link: LinkSpec = field(default=NVLINK)
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel < 1:
+            raise ValueError("tensor_parallel must be >= 1")
+        if self.pipeline_parallel < 1:
+            raise ValueError("pipeline_parallel must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        return self.tensor_parallel * self.pipeline_parallel
+
+    @property
+    def label(self) -> str:
+        return f"TP{self.tensor_parallel}-PP{self.pipeline_parallel}"
+
+    # ------------------------------------------------------------------
+    # Sharding math
+    # ------------------------------------------------------------------
+    def layers_per_stage(self, model: ModelConfig) -> int:
+        """Layers hosted by one pipeline stage (ceil split)."""
+        pp = self.pipeline_parallel
+        return (model.num_layers + pp - 1) // pp
+
+    def stage_weight_bytes_per_gpu(self, model: ModelConfig) -> int:
+        """Model weight bytes resident on one GPU of one stage.
+
+        Embedding lives on the first stage and the LM head on the last;
+        for footprint purposes we charge each stage the larger of the
+        two, a conservative and symmetric approximation.
+        """
+        layer_bytes = self.layers_per_stage(model) * model.params_per_layer
+        extra = max(model.embedding_params, model.lm_head_params)
+        total = (layer_bytes + extra) * model.dtype_bytes
+        return total // self.tensor_parallel
+
+    def kv_bytes_per_token_per_gpu(self, model: ModelConfig) -> float:
+        """KV-cache bytes one token costs on each GPU of a stage."""
+        per_layer = model.kv_bytes_per_token_per_layer
+        return self.layers_per_stage(model) * per_layer / self.tensor_parallel

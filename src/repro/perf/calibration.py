@@ -1,0 +1,82 @@
+"""Calibration constants for the roofline execution model.
+
+These constants convert peak hardware rates into *achievable* rates and
+add the fixed software costs that peak-rate math misses.  They were
+chosen to land the model near the operating points the paper reports:
+
+* linear operators become compute-bound around 200 theoretical tokens
+  on A100, observed at ~500-600 tokens for high TP degrees due to fixed
+  overheads (paper §3.1, footnote 2) — reproduced by the per-kernel
+  launch cost and communication latency terms;
+* a 4k-token Falcon-180B prefill takes ~1.1-1.2 s per TP4 stage while a
+  32-wide decode iteration takes tens of milliseconds (§3.3);
+* chunked prefill with chunk 512 costs at most ~25% extra prefill time
+  on Yi-34B (Fig. 14) — reproduced by KV re-reads plus per-iteration
+  overheads.
+
+All values live in one frozen dataclass so experiments can ablate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Achievable-efficiency factors and fixed overheads (seconds)."""
+
+    # Fractions of peak attainable by real kernels.
+    matmul_efficiency: float = 0.62       # dense GEMM FLOP efficiency (asymptotic)
+    memory_efficiency: float = 0.82       # HBM streaming efficiency
+    attention_prefill_efficiency: float = 0.45   # FlashAttention-style
+    attention_decode_efficiency: float = 0.70    # paged decode kernels
+
+    # GEMM efficiency ramps up with the token dimension: small batches
+    # under-fill the SM grid, so a 512-token GEMM runs at ~84% of the
+    # asymptotic efficiency while a 16k-token one runs at ~99%.  This
+    # is what makes small prefill chunks "slightly inefficient" (§5.4.1)
+    # and pushes the observed compute-bound knee to ~500-600 tokens
+    # (§3.1 footnote 2).
+    gemm_efficiency_knee: float = 96.0    # saturation constant, in tokens
+
+    # Fixed software costs.
+    kernel_launch_overhead: float = 4.5e-6   # per kernel
+    kernels_per_layer: float = 9.0           # launches per transformer layer
+    iteration_overhead: float = 1.5e-3       # CPU scheduler + framework, per iter
+
+    # Elementwise/norm ("others") costs relative to activation traffic.
+    others_bytes_factor: float = 6.0   # activation bytes moved per layer / (n*h*dtype)
+
+    # Tile-quantization: pad token dimension up to a multiple of the
+    # GPU's matmul tile when computing GEMM math time (§4.3).
+    model_tile_quantization: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "matmul_efficiency",
+            "memory_efficiency",
+            "attention_prefill_efficiency",
+            "attention_decode_efficiency",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.kernel_launch_overhead < 0 or self.iteration_overhead < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.gemm_efficiency_knee < 0:
+            raise ValueError("gemm_efficiency_knee must be non-negative")
+
+    def gemm_efficiency(self, num_tokens: float) -> float:
+        """Achievable GEMM FLOP efficiency at a given token dimension.
+
+        Saturating ramp ``eff * n / (n + knee)``: ≈84% of asymptotic at
+        512 tokens, ≈99% at 16k tokens with the default knee of 96.
+        """
+        if num_tokens <= 0:
+            return self.matmul_efficiency
+        ramp = num_tokens / (num_tokens + self.gemm_efficiency_knee)
+        return self.matmul_efficiency * ramp
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,114 @@
+"""Roofline timing of the linear (GEMM) operators of one pipeline stage.
+
+Linear operators dominate LLM iteration time (Fig. 4): QKV projection,
+attention output projection, the FFN matrices, and the LM head.  Their
+cost per iteration depends only on the *total* number of tokens in the
+batch, which is what makes hybrid prefill+decode batches attractive —
+a decode token rides along with prefill tokens almost for free while
+the batch stays memory-bound (Takeaway-2).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.perf.calibration import Calibration
+from repro.perf.roofline import OpCost, op_time, tile_quantized
+
+
+class LinearModel:
+    """Per-stage linear-operator cost model with precomputed shards."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        gpu: GPUSpec,
+        parallel: ParallelConfig,
+        calibration: Calibration,
+    ) -> None:
+        self.model = model
+        self.gpu = gpu
+        self.parallel = parallel
+        self.calibration = calibration
+
+        tp = parallel.tensor_parallel
+        self.stage_layers = parallel.layers_per_stage(model)
+        # Per-GPU shard sizes, precomputed once.
+        self._layer_params = model.params_per_layer / tp
+        self._layer_weight_bytes = self._layer_params * model.dtype_bytes
+        self._lm_head_params = model.lm_head_params / tp
+        self._lm_head_bytes = self._lm_head_params * model.dtype_bytes
+        # Activation traffic per token per layer (read input + write
+        # intermediate + write output), a small additive memory term.
+        self._act_bytes_per_token = 3 * model.hidden_size * model.dtype_bytes / tp
+
+    # ------------------------------------------------------------------
+    # Raw accounting (used directly by Fig. 5 / Fig. 6 benches)
+    # ------------------------------------------------------------------
+    def flops(self, num_tokens: int) -> float:
+        """Per-GPU GEMM FLOPs of this stage's layers for a batch."""
+        return 2.0 * num_tokens * self._layer_params * self.stage_layers
+
+    def weight_bytes(self) -> float:
+        """Per-GPU weight bytes fetched each iteration by this stage."""
+        return self._layer_weight_bytes * self.stage_layers
+
+    def activation_bytes(self, num_tokens: int) -> float:
+        return self._act_bytes_per_token * num_tokens * self.stage_layers
+
+    def arithmetic_intensity(self, num_tokens: int) -> float:
+        """FLOPs per byte of the stage's linear work (Fig. 5)."""
+        total_bytes = self.weight_bytes() + self.activation_bytes(num_tokens)
+        return self.flops(num_tokens) / total_bytes
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def layer_cost(self, num_tokens: int) -> OpCost:
+        """Roofline cost of one layer's linear operators."""
+        calib = self.calibration
+        math_tokens = num_tokens
+        if calib.model_tile_quantization:
+            math_tokens = tile_quantized(num_tokens, self.gpu.matmul_tile)
+        flops = 2.0 * math_tokens * self._layer_params
+        num_bytes = self._layer_weight_bytes + self._act_bytes_per_token * num_tokens
+        return op_time(
+            self.gpu,
+            flops,
+            num_bytes,
+            calib.matmul_efficiency,
+            calib.memory_efficiency,
+            ramped_compute_efficiency=calib.gemm_efficiency(math_tokens),
+        )
+
+    def stage_time(self, num_tokens: int, num_logit_tokens: int = 0) -> float:
+        """Linear time of the whole stage, plus the LM head.
+
+        ``num_logit_tokens`` is the number of positions pushed through
+        the LM head (one per sequence emitting a token this iteration);
+        inference engines only compute logits for final positions.
+        Callers pass 0 for stages that do not host the LM head.
+        """
+        if num_tokens <= 0:
+            return 0.0
+        total = self.layer_cost(num_tokens).time * self.stage_layers
+        if num_logit_tokens > 0:
+            total += self.lm_head_time(num_logit_tokens)
+        return total
+
+    def lm_head_time(self, num_logit_tokens: int) -> float:
+        calib = self.calibration
+        math_tokens = num_logit_tokens
+        if calib.model_tile_quantization:
+            math_tokens = tile_quantized(num_logit_tokens, self.gpu.matmul_tile)
+        flops = 2.0 * math_tokens * self._lm_head_params
+        num_bytes = self._lm_head_bytes
+        return op_time(
+            self.gpu,
+            flops,
+            num_bytes,
+            calib.matmul_efficiency,
+            calib.memory_efficiency,
+            ramped_compute_efficiency=calib.gemm_efficiency(math_tokens),
+        ).time

@@ -1,0 +1,145 @@
+"""One-time profiling used to pick the token budget (§4.3).
+
+The paper sets the token budget by profiling hybrid batches with
+different numbers of tokens and choosing the largest count that still
+meets the P99 TBT SLO — "This can be handled with a one-time profiling
+of batches with different number of tokens".  ``compute_token_budget``
+implements exactly that against the analytical execution model, with
+candidates aligned to the GPU matmul tile to avoid tile-quantization
+waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.iteration import ExecutionModel
+from repro.types import TokenWork
+
+# The decode reference point used to derive SLOs in §5.1 (Patel et al.
+# methodology): a request with 4k prefill at batch size 32, running
+# without prefill interference.
+REFERENCE_BATCH_SIZE = 32
+REFERENCE_CONTEXT = 4096
+
+STRICT_SLO_MULTIPLIER = 5.0
+RELAXED_SLO_MULTIPLIER = 25.0
+
+
+@dataclass(frozen=True)
+class BudgetProfile:
+    """One profiled operating point of the hybrid-batch sweep."""
+
+    token_budget: int
+    iteration_time: float
+    meets_slo: bool
+
+
+def reference_decode_time(exec_model: ExecutionModel) -> float:
+    """Decode-iteration TBT at the paper's SLO reference point.
+
+    The user-observed TBT of a pipeline-parallel deployment spans every
+    stage plus the inter-stage activation hops, so the reference scales
+    with pipeline depth.
+    """
+    stage = exec_model.decode_iteration_time(
+        REFERENCE_BATCH_SIZE, REFERENCE_CONTEXT
+    ).total
+    pp = exec_model.parallel.pipeline_parallel
+    if pp == 1:
+        return stage
+    works = [TokenWork.decode(REFERENCE_CONTEXT) for _ in range(REFERENCE_BATCH_SIZE)]
+    send = exec_model.pipeline_send_time(works)
+    return pp * stage + (pp - 1) * send
+
+
+def derive_slo(exec_model: ExecutionModel, strict: bool) -> float:
+    """P99-TBT SLO as a multiple of the reference decode latency (§5.1)."""
+    multiplier = STRICT_SLO_MULTIPLIER if strict else RELAXED_SLO_MULTIPLIER
+    return multiplier * reference_decode_time(exec_model)
+
+
+def hybrid_iteration_time(
+    exec_model: ExecutionModel,
+    token_budget: int,
+    decode_batch_size: int = REFERENCE_BATCH_SIZE,
+    decode_context: int = REFERENCE_CONTEXT,
+    prefill_past: int | None = None,
+) -> float:
+    """Latency of a worst-case hybrid batch at a given token budget.
+
+    The batch carries ``decode_batch_size`` decodes plus one prefill
+    chunk filling the remaining budget, whose attention re-reads
+    ``prefill_past`` cached tokens (defaults to one budget's worth,
+    i.e. a mid-prompt chunk).
+    """
+    works = [TokenWork.decode(decode_context) for _ in range(decode_batch_size)]
+    prefill_tokens = token_budget - decode_batch_size
+    if prefill_tokens > 0:
+        past = prefill_past if prefill_past is not None else token_budget
+        works.append(
+            TokenWork.prefill_chunk(prefill_tokens, past_len=past, is_last=False)
+        )
+    stage = exec_model.iteration_time(works).total
+    # Like the SLO reference, the latency a user observes spans every
+    # pipeline stage plus the inter-stage hops.
+    pp = exec_model.parallel.pipeline_parallel
+    if pp == 1:
+        return stage
+    send = exec_model.pipeline_send_time(works)
+    return pp * stage + (pp - 1) * send
+
+
+def profile_token_budgets(
+    exec_model: ExecutionModel,
+    tbt_slo: float,
+    candidates: list[int] | None = None,
+    decode_batch_size: int = REFERENCE_BATCH_SIZE,
+    decode_context: int = REFERENCE_CONTEXT,
+) -> list[BudgetProfile]:
+    """Profile hybrid-batch latency across candidate token budgets."""
+    if candidates is None:
+        candidates = default_budget_candidates(exec_model)
+    profiles = []
+    for budget in candidates:
+        time = hybrid_iteration_time(
+            exec_model, budget, decode_batch_size, decode_context
+        )
+        profiles.append(
+            BudgetProfile(token_budget=budget, iteration_time=time, meets_slo=time <= tbt_slo)
+        )
+    return profiles
+
+
+def default_budget_candidates(exec_model: ExecutionModel) -> list[int]:
+    """Tile-aligned candidate budgets from 128 to 8192 tokens."""
+    tile = exec_model.gpu.matmul_tile
+    candidates = []
+    budget = tile
+    while budget <= 8192:
+        candidates.append(budget)
+        budget += tile if budget < 1024 else 2 * tile
+    return candidates
+
+
+def compute_token_budget(
+    exec_model: ExecutionModel,
+    tbt_slo: float,
+    candidates: list[int] | None = None,
+    decode_batch_size: int = REFERENCE_BATCH_SIZE,
+    decode_context: int = REFERENCE_CONTEXT,
+    min_budget: int = 128,
+) -> int:
+    """Largest tile-aligned token budget whose hybrid batch meets the SLO.
+
+    Falls back to ``min_budget`` when even the smallest candidate
+    violates the SLO — a budget must always admit at least one decode
+    batch, otherwise the scheduler could never make progress.
+    """
+    profiles = profile_token_budgets(
+        exec_model, tbt_slo, candidates, decode_batch_size, decode_context
+    )
+    feasible = [p.token_budget for p in profiles if p.meets_slo]
+    if not feasible:
+        return min_budget
+    return max(feasible)

@@ -1,0 +1,81 @@
+"""Roofline primitives: ``T = max(T_math, T_mem)`` and tile effects.
+
+The paper's cost analysis (§3.1) models every operator as the maximum
+of its math time and its memory-fetch time.  Operators below the
+device's ridge intensity are memory-bound (decode), above it they are
+compute-bound (prefill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Resolved cost of one operator."""
+
+    time: float
+    math_time: float
+    mem_time: float
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.mem_time >= self.math_time
+
+
+def op_time(
+    gpu: GPUSpec,
+    flops: float,
+    num_bytes: float,
+    compute_efficiency: float,
+    memory_efficiency: float,
+    ramped_compute_efficiency: float | None = None,
+) -> OpCost:
+    """Roofline time of an operator overlapping math with memory fetch.
+
+    ``ramped_compute_efficiency`` (≤ ``compute_efficiency``) models
+    SM under-utilization at small problem sizes.  Under-utilized math
+    only costs time when compute is the binding resource — a skinny
+    memory-bound GEMM streams weights at full bandwidth regardless —
+    so the ramped time is blended in proportionally to how
+    compute-bound the operator is, which keeps the transition smooth.
+    """
+    math_time = gpu.math_time(flops, compute_efficiency)
+    mem_time = gpu.mem_time(num_bytes, memory_efficiency)
+    if ramped_compute_efficiency is not None and flops > 0:
+        ramped_time = gpu.math_time(flops, ramped_compute_efficiency)
+        compute_boundness = math_time / (math_time + mem_time)
+        math_time = math_time + (ramped_time - math_time) * compute_boundness
+    return OpCost(time=max(math_time, mem_time), math_time=math_time, mem_time=mem_time)
+
+
+def tile_quantized(num_tokens: int, tile: int) -> int:
+    """Round the token dimension up to the effective GPU matmul tile.
+
+    GPUs pad partial tiles with wasted thread blocks, so a 257-token
+    GEMM costs as much math as a 384-token one on a 128-tile device
+    (§4.3 tile-quantization).  Very skinny GEMMs are served by smaller
+    tile shapes, so the effective tile never exceeds the next power of
+    two of the token count — a 32-row decode GEMM is not padded to 128.
+    """
+    if num_tokens <= 0:
+        return 0
+    effective_tile = min(tile, _next_power_of_two(num_tokens))
+    return ((num_tokens + effective_tile - 1) // effective_tile) * effective_tile
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def arithmetic_intensity(flops: float, num_bytes: float) -> float:
+    """FLOPs performed per byte fetched (Fig. 5's y-axis)."""
+    if num_bytes <= 0:
+        raise ValueError("num_bytes must be positive")
+    return flops / num_bytes

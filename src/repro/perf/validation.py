@@ -1,0 +1,162 @@
+"""Calibration anchors: the paper's operating points, checked in code.
+
+The roofline model is only credible while it stays pinned to the
+handful of absolute numbers the paper publishes.  Each anchor encodes
+one such number with a generous band; ``validate_calibration`` runs
+them all, and the test suite fails if a refactor drifts the model off
+the paper.  Run it yourself after changing any constant::
+
+    from repro.perf.validation import validate_calibration
+    for check in validate_calibration():
+        print(check)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.catalog import A100_80G, ETHERNET_100G
+from repro.models.catalog import FALCON_180B, MISTRAL_7B, YI_34B
+from repro.parallel.config import ParallelConfig
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.iteration import ExecutionModel
+from repro.perf.profiler import derive_slo
+from repro.types import TokenWork
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One calibration anchor: a measured value against its band."""
+
+    name: str
+    source: str
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def passed(self) -> bool:
+        return self.low <= self.measured <= self.high
+
+    def __str__(self) -> str:
+        status = "ok " if self.passed else "OFF"
+        return (
+            f"[{status}] {self.name}: {self.measured:.4g} "
+            f"(expected {self.low:g}..{self.high:g}; {self.source})"
+        )
+
+
+def validate_calibration(
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> list[AnchorCheck]:
+    """Evaluate every anchor; returns all checks (pass or fail)."""
+    checks: list[AnchorCheck] = []
+
+    mistral = ExecutionModel(MISTRAL_7B, A100_80G, ParallelConfig(), calibration)
+    yi = ExecutionModel(
+        YI_34B, A100_80G, ParallelConfig(tensor_parallel=2), calibration
+    )
+    falcon = ExecutionModel(
+        FALCON_180B,
+        A100_80G,
+        ParallelConfig(tensor_parallel=4, pipeline_parallel=2, pp_link=ETHERNET_100G),
+        calibration,
+    )
+
+    checks.append(
+        AnchorCheck(
+            name="Mistral-7B strict SLO (5x reference decode)",
+            source="Table 3: 0.1 s",
+            measured=derive_slo(mistral, strict=True),
+            low=0.05,
+            high=0.25,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="Yi-34B strict SLO",
+            source="Table 3: 0.2 s",
+            measured=derive_slo(yi, strict=True),
+            low=0.10,
+            high=0.45,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="Falcon-180B 4k-token prefill, one TP4 stage",
+            source="§3.3: ≈1150 ms",
+            measured=falcon.full_prefill_time(4096).total,
+            low=0.7,
+            high=1.6,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="Yi-34B chunk-512 prefill overhead (16k prompt)",
+            source="Fig. 14: ≤ ~25% at chunk 512",
+            measured=yi.chunked_prefill_time(16384, 512).total
+            / yi.full_prefill_time(16384).total,
+            low=1.02,
+            high=1.30,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="Yi-34B chunk-2048 prefill overhead (16k prompt)",
+            source="Fig. 14: near-negligible at chunk 2048",
+            measured=yi.chunked_prefill_time(16384, 2048).total
+            / yi.full_prefill_time(16384).total,
+            low=1.0,
+            high=1.10,
+        )
+    )
+    # Fig. 3: prefill throughput saturated at bs=1; decode scales.
+    prefill_bs1 = 1024 / mistral.iteration_time([TokenWork.prefill_chunk(1024)]).total
+    prefill_bs8 = (
+        8 * 1024
+        / mistral.iteration_time([TokenWork.prefill_chunk(1024)] * 8).total
+    )
+    checks.append(
+        AnchorCheck(
+            name="Mistral-7B prefill batch-8 gain over batch-1",
+            source="Fig. 3: marginal",
+            measured=prefill_bs8 / prefill_bs1,
+            low=1.0,
+            high=1.3,
+        )
+    )
+    decode_bs1 = 1 / mistral.decode_iteration_time(1, 1024).total
+    decode_bs32 = 32 / mistral.decode_iteration_time(32, 1024).total
+    checks.append(
+        AnchorCheck(
+            name="Mistral-7B decode batch-32 gain over batch-1",
+            source="Fig. 3: near-linear",
+            measured=decode_bs32 / decode_bs1,
+            low=15.0,
+            high=33.0,
+        )
+    )
+    # §4.3 tile quantization: 257 vs 256-token chunk math-time spike.
+    spike = (
+        mistral.linear.layer_cost(257).math_time
+        / mistral.linear.layer_cost(256).math_time
+    )
+    checks.append(
+        AnchorCheck(
+            name="tile-quantization spike at 257 vs 256 tokens",
+            source="§4.3: ~+32%",
+            measured=spike,
+            low=1.1,
+            high=1.6,
+        )
+    )
+    return checks
+
+
+def assert_calibrated(calibration: Calibration = DEFAULT_CALIBRATION) -> None:
+    """Raise with a readable report if any anchor is off."""
+    checks = validate_calibration(calibration)
+    failed = [c for c in checks if not c.passed]
+    if failed:
+        report = "\n".join(str(c) for c in checks)
+        raise AssertionError(f"calibration drifted off the paper:\n{report}")

@@ -1,0 +1,87 @@
+"""Side-by-side scheduler comparison reports.
+
+One call replays the same trace under several schedulers and renders a
+markdown table of the paper's key metrics — the quickest way to see
+the throughput-latency tradeoff on a new deployment or workload.
+Exposed on the CLI as ``python -m repro compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Deployment, ServingConfig, simulate
+from repro.metrics.timeline import longest_stall
+from repro.types import Request, SchedulerKind
+
+DEFAULT_COMPARISON = (
+    SchedulerKind.FASTER_TRANSFORMER,
+    SchedulerKind.ORCA,
+    SchedulerKind.VLLM,
+    SchedulerKind.SARATHI,
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One scheduler's metrics on the shared trace."""
+
+    scheduler: str
+    median_ttft: float
+    p99_tbt: float
+    max_tbt: float
+    worst_stall: float
+    throughput_tokens_per_s: float
+    num_preemptions: int
+
+
+def compare_schedulers(
+    deployment: Deployment,
+    requests: list[Request],
+    schedulers: tuple[SchedulerKind, ...] = DEFAULT_COMPARISON,
+    token_budget: int = 512,
+    max_batch_size: int = 128,
+) -> list[ComparisonRow]:
+    """Replay ``requests`` under each scheduler and collect metrics."""
+    if not requests:
+        raise ValueError("compare_schedulers needs a non-empty trace")
+    rows = []
+    for kind in schedulers:
+        config = ServingConfig(
+            scheduler=kind, token_budget=token_budget, max_batch_size=max_batch_size
+        )
+        result, metrics = simulate(deployment, config, requests)
+        rows.append(
+            ComparisonRow(
+                scheduler=kind.value,
+                median_ttft=metrics.median_ttft,
+                p99_tbt=metrics.p99_tbt,
+                max_tbt=metrics.max_tbt,
+                worst_stall=longest_stall(result.finished_requests),
+                throughput_tokens_per_s=metrics.throughput_tokens_per_s,
+                num_preemptions=metrics.num_preemptions,
+            )
+        )
+    return rows
+
+
+def render_markdown(rows: list[ComparisonRow], title: str = "") -> str:
+    """A GitHub-flavoured markdown table of the comparison."""
+    if not rows:
+        raise ValueError("nothing to render")
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append(
+        "| scheduler | median TTFT (s) | P99 TBT (s) | worst stall (s) "
+        "| throughput (tok/s) | preemptions |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    for row in rows:
+        lines.append(
+            f"| {row.scheduler} | {row.median_ttft:.3f} | {row.p99_tbt:.3f} "
+            f"| {row.worst_stall:.2f} | {row.throughput_tokens_per_s:.0f} "
+            f"| {row.num_preemptions} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Scheduling policies: the paper's baselines and ablations.
+
+The Sarathi-Serve scheduler itself — the paper's core contribution —
+lives in :mod:`repro.core`.
+"""
+
+from repro.scheduling.ablations import (
+    ChunkedPrefillsOnlyScheduler,
+    hybrid_batching_only_scheduler,
+)
+from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
+from repro.scheduling.faster_transformer import FasterTransformerScheduler
+from repro.scheduling.orca import OrcaScheduler
+from repro.scheduling.vllm import DEFAULT_MAX_BATCHED_TOKENS, VLLMScheduler
+
+__all__ = [
+    "Scheduler",
+    "DEFAULT_MAX_BATCH_SIZE",
+    "DEFAULT_MAX_BATCHED_TOKENS",
+    "FasterTransformerScheduler",
+    "OrcaScheduler",
+    "VLLMScheduler",
+    "ChunkedPrefillsOnlyScheduler",
+    "hybrid_batching_only_scheduler",
+]

@@ -1,0 +1,124 @@
+"""Ablation schedulers isolating Sarathi-Serve's two techniques (§5.4.2).
+
+* **chunked-prefills-only** — prompts are chunked under the token
+  budget, but batches stay segregated (no hybrid coalescing): the
+  scheduler alternates between a decode-only iteration and a
+  prefill-chunk iteration.  Decode stalls are bounded by one chunk's
+  latency (good TBT) but prefill throughput is halved and chunks are
+  slightly inefficient, inflating TTFT (Table 4).
+
+* **hybrid-batching-only** — Orca-style hybrid batches with paged
+  memory and decode-first ordering, but no chunking; provided by
+  ``SarathiScheduler(chunk_prefills=False)`` and re-exported here as a
+  factory for symmetry.
+"""
+
+from __future__ import annotations
+
+from repro.batch import ScheduledWork
+from repro.core.chunking import get_next_chunk_size
+from repro.memory.block_manager import MemoryManager
+from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
+from repro.types import Request, TokenWork
+
+
+class ChunkedPrefillsOnlyScheduler(Scheduler):
+    """Chunked prefills without hybrid batching (segregated iterations)."""
+
+    name = "chunked-prefills-only"
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        token_budget: int,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    ) -> None:
+        super().__init__(memory, max_batch_size)
+        if token_budget <= 0:
+            raise ValueError("token_budget must be positive")
+        self.token_budget = token_budget
+        self._last_was_prefill = False
+
+    def _build_batch(self, now: float) -> list[ScheduledWork]:
+        # Alternate phases so neither starves: after a prefill-chunk
+        # iteration, decodes run; after decodes, pending chunks run.
+        if self._last_was_prefill:
+            items = self._decode_items() or self._prefill_items()
+        else:
+            items = self._prefill_items() or self._decode_items()
+        if items:
+            self._last_was_prefill = items[0].work.is_prefill
+        return items
+
+    # ------------------------------------------------------------------
+    def _decode_items(self) -> list[ScheduledWork]:
+        items: list[ScheduledWork] = []
+        for request in sorted(self._schedulable_running(), key=lambda r: r.arrival_time):
+            if len(items) >= self.max_batch_size:
+                break
+            if not request.is_prefill_complete:
+                continue
+            if request not in self.running:
+                continue
+            if not self._prepare_decode(request):
+                continue
+            items.append(
+                ScheduledWork(request=request, work=TokenWork.decode(request.context_len))
+            )
+        return items
+
+    def _prefill_items(self) -> list[ScheduledWork]:
+        items: list[ScheduledWork] = []
+        tokens_used = 0
+        # Ongoing partial prefills first, then admit new requests.
+        for request in self._schedulable_running():
+            if request.is_prefill_complete:
+                continue
+            chunk = get_next_chunk_size(request, self.token_budget, tokens_used)
+            if chunk <= 0:
+                break
+            items.append(self._prefill_item(request, chunk))
+            tokens_used += chunk
+        while len(items) < self.max_batch_size and tokens_used < self.token_budget:
+            head = self.waiting[0] if self.waiting else None
+            if head is None:
+                break
+            chunk = get_next_chunk_size(head, self.token_budget, tokens_used)
+            if chunk <= 0:
+                break
+            admitted = self._admit_waiting_head()
+            if admitted is None:
+                break
+            items.append(self._prefill_item(admitted, chunk))
+            tokens_used += chunk
+        return items
+
+    @staticmethod
+    def _prefill_item(request: Request, chunk: int) -> ScheduledWork:
+        is_last = chunk >= request.remaining_prefill
+        return ScheduledWork(
+            request=request,
+            work=TokenWork.prefill_chunk(
+                chunk, past_len=request.prefill_done, is_last=is_last
+            ),
+        )
+
+
+def hybrid_batching_only_scheduler(
+    memory: MemoryManager,
+    token_budget: int,
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+) -> "Scheduler":
+    """Hybrid batches without chunking (Table 4's hybrid-batching-only)."""
+    # Imported here: ``core.sarathi`` depends on ``scheduling.base``,
+    # so a module-level import would be circular via the package init.
+    from repro.core.sarathi import SarathiScheduler
+
+    scheduler = SarathiScheduler(
+        memory,
+        token_budget=token_budget,
+        max_batch_size=max_batch_size,
+        chunk_prefills=False,
+    )
+    scheduler.name = "hybrid-batching-only"
+    return scheduler

@@ -1,0 +1,264 @@
+"""Scheduler framework shared by all four policies and the ablations.
+
+A scheduler owns three request pools:
+
+* ``waiting`` — arrived, not yet holding KV memory;
+* ``running`` — admitted (holding memory), progressing through prefill
+  and decode;
+* ``in-flight`` — the subset of running requests currently inside a
+  scheduled-but-uncommitted batch.  With pipeline parallelism several
+  micro-batches are in flight at once and a request may appear in at
+  most one of them (iteration-level scheduling, Orca §2.5).
+
+The engine calls ``schedule`` whenever the first pipeline stage is
+free and ``on_batch_complete`` when a batch leaves the last stage;
+progress (token emission, memory growth, completion, preemption) is
+committed at completion time.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.batch import Batch, ScheduledWork
+from repro.memory.block_manager import MemoryManager
+from repro.types import Request, RequestPhase
+
+DEFAULT_MAX_BATCH_SIZE = 128
+
+
+class Scheduler(abc.ABC):
+    """Admission control plus batching policy (§2.5)."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        preemption_mode: str = "recompute",
+        kv_bytes_per_token: int = 0,
+    ) -> None:
+        """``preemption_mode`` selects what happens to an evicted
+        request: ``"recompute"`` re-queues it to re-prefill from scratch
+        (vLLM's default), ``"swap"`` parks its KV cache in host memory
+        and swaps it back when space frees up — the engine charges the
+        transfer volume (``kv_bytes_per_token`` × context) to the
+        surrounding iterations.  A request that must evict *itself*
+        always recomputes: swapping self out and straight back in would
+        never make progress.
+        """
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if preemption_mode not in ("recompute", "swap"):
+            raise ValueError(f"unknown preemption_mode {preemption_mode!r}")
+        if preemption_mode == "swap" and kv_bytes_per_token <= 0:
+            raise ValueError("swap mode needs kv_bytes_per_token > 0")
+        self.memory = memory
+        self.max_batch_size = max_batch_size
+        self.preemption_mode = preemption_mode
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+        self.swapped: list[Request] = []
+        self._in_flight: set[int] = set()
+        # Requests already placed in the batch currently being built —
+        # they must never be chosen as preemption victims.
+        self._claimed: set[int] = set()
+        self._pending_swap_bytes = 0
+        # Cumulative counters, handy for tests and telemetry.
+        self.num_scheduled_batches = 0
+        self.num_preemptions = 0
+        self.num_swap_outs = 0
+        self.num_swap_ins = 0
+
+    # ------------------------------------------------------------------
+    # Engine-facing interface
+    # ------------------------------------------------------------------
+    def add_request(self, request: Request, now: float) -> None:
+        """Accept a newly arrived request into the waiting queue (FCFS)."""
+        if request.arrival_time > now + 1e-9:
+            raise ValueError(
+                f"request {request.request_id} arrives at {request.arrival_time}, "
+                f"but now is {now}"
+            )
+        self.waiting.append(request)
+
+    def schedule(self, now: float) -> Batch | None:
+        """Form the next batch, or ``None`` when there is nothing to run."""
+        self._claimed.clear()
+        self._try_swap_in()
+        items = self._build_batch(now)
+        self._claimed.clear()
+        if not items:
+            return None
+        batch = Batch(items=items, scheduled_at=now, swap_bytes=self._pending_swap_bytes)
+        self._pending_swap_bytes = 0
+        for item in batch.items:
+            request = item.request
+            self._in_flight.add(request.request_id)
+            if request.first_scheduled_at is None:
+                request.first_scheduled_at = now
+            if request.phase is RequestPhase.QUEUED:
+                request.phase = RequestPhase.PREFILL
+        self.num_scheduled_batches += 1
+        return batch
+
+    def on_batch_complete(self, batch: Batch, now: float) -> list[Request]:
+        """Commit a completed batch's progress; return finished requests."""
+        finished = []
+        for item in batch.items:
+            request = item.request
+            self._in_flight.discard(request.request_id)
+            if item.work.is_prefill:
+                request.record_prefill(item.work.num_tokens, now)
+            else:
+                # The KV slot was reserved at schedule time (see
+                # ``_prepare_decode``); only the progress commits here.
+                request.record_decode(now)
+            if request.is_finished:
+                self.memory.free(request)
+                self._remove_running(request)
+                finished.append(request)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Policy hook
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_batch(self, now: float) -> list[ScheduledWork]:
+        """Select requests and their token work for the next iteration."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for concrete policies
+    # ------------------------------------------------------------------
+    def _schedulable_running(self) -> list[Request]:
+        """Running requests not currently inside an in-flight batch."""
+        return [
+            r for r in self.running if r.request_id not in self._in_flight
+        ]
+
+    def _admit_waiting_head(self) -> Request | None:
+        """Admit the FCFS head of the waiting queue if memory allows."""
+        if not self.waiting:
+            return None
+        head = self.waiting[0]
+        if not self.memory.can_admit(head):
+            return None
+        self.waiting.popleft()
+        self.memory.admit(head)
+        self.running.append(head)
+        return head
+
+    def _prepare_decode(self, request: Request) -> bool:
+        """Reserve the KV slot for ``request``'s next token, preempting
+        lower-priority requests if needed.  Must be called when
+        *scheduling* a decode so concurrent decodes cannot race for the
+        same block.  Returns False when the request cannot decode this
+        iteration (including when it preempted *itself*).
+        """
+        if not self._preempt_for_decode(request):
+            return False
+        self.memory.append_token(request)
+        self._claimed.add(request.request_id)
+        return True
+
+    def _preempt_for_decode(self, request: Request) -> bool:
+        """Free memory for ``request``'s next token by evicting others.
+
+        vLLM's recompute policy: evict the lowest-priority (most
+        recently arrived) running request and re-queue it at the front
+        of the waiting queue.  When ``request`` is itself the lowest
+        priority left, it self-preempts.  Returns True once ``request``
+        can append a token.
+        """
+        while not self.memory.can_append_token(request):
+            victim = self._pick_preemption_victim(request)
+            if victim is None or victim.arrival_time < request.arrival_time:
+                # ``request`` is the lowest-priority request left.  It
+                # must recompute even in swap mode: swapping itself out
+                # and immediately back in could never make progress.
+                self._evict(request, force_recompute=True)
+                return False
+            self._evict(victim)
+        return True
+
+    def _evict(self, victim: Request, force_recompute: bool = False) -> None:
+        if self.preemption_mode == "swap" and not force_recompute:
+            self._swap_out(victim)
+            return
+        self.memory.free(victim)
+        victim.restart_after_preemption()
+        self._remove_running(victim)
+        self.waiting.appendleft(victim)
+        self.num_preemptions += 1
+
+    def _swap_out(self, victim: Request) -> None:
+        """Park the victim's KV cache in host memory (state preserved)."""
+        self._pending_swap_bytes += self.kv_bytes_per_token * victim.context_len
+        self.memory.free(victim)
+        victim.phase = RequestPhase.PREEMPTED
+        self._remove_running(victim)
+        self.swapped.append(victim)
+        self.num_preemptions += 1
+        self.num_swap_outs += 1
+
+    def _try_swap_in(self) -> None:
+        """Bring swapped requests back once memory allows (FCFS)."""
+        if not self.swapped:
+            return
+        still_out = []
+        for request in self.swapped:
+            if self.memory.can_admit(request):
+                self.memory.admit(request)
+                self._pending_swap_bytes += (
+                    self.kv_bytes_per_token * request.context_len
+                )
+                request.phase = (
+                    RequestPhase.DECODE
+                    if request.is_prefill_complete
+                    else RequestPhase.PREFILL
+                )
+                self.running.append(request)
+                self.num_swap_ins += 1
+            else:
+                still_out.append(request)
+        self.swapped = still_out
+
+    def _pick_preemption_victim(self, protect: Request) -> Request | None:
+        candidates = [
+            r
+            for r in self.running
+            if r is not protect
+            and r.request_id not in self._in_flight
+            and r.request_id not in self._claimed
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.arrival_time)
+
+    def _remove_running(self, request: Request) -> None:
+        try:
+            self.running.remove(request)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_waiting(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def has_work(self) -> bool:
+        return (
+            bool(self.waiting)
+            or bool(self.swapped)
+            or bool(self._schedulable_running())
+        )

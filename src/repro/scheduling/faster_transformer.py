@@ -1,0 +1,70 @@
+"""FasterTransformer-style request-level, decode-prioritizing scheduler.
+
+Implements the paper's Algorithm 1: a batch of requests is admitted
+only when the previous batch has fully drained (no decodes left), all
+their prefills run together, and the batch then decodes to completion
+with a shrinking batch size as requests finish.  TBT is excellent —
+no new prefill ever interferes with ongoing decodes — but throughput
+suffers from the drain-down tail (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.batch import ScheduledWork
+from repro.memory.block_manager import MemoryManager
+from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
+from repro.types import Request, TokenWork
+
+
+class FasterTransformerScheduler(Scheduler):
+    """Request-level batching (Algorithm 1).
+
+    Prompt padding waste is not modelled (each prefill is charged its
+    true length), which strictly *favours* this baseline; it loses on
+    batch drain-down and head-of-line blocking regardless.
+    """
+
+    name = "faster-transformer"
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    ) -> None:
+        super().__init__(memory, max_batch_size)
+        self._members: list[Request] = []
+
+    def _build_batch(self, now: float) -> list[ScheduledWork]:
+        self._members = [r for r in self._members if not r.is_finished]
+        if not self._members:
+            self._admit_new_batch()
+        schedulable = [
+            r for r in self._members if r.request_id not in self._in_flight
+        ]
+        if not schedulable:
+            return []
+
+        pending_prefill = [r for r in schedulable if not r.is_prefill_complete]
+        if pending_prefill:
+            # Line 8 of Algorithm 1: prefill the whole batch at once.
+            return [
+                ScheduledWork(
+                    request=r,
+                    work=TokenWork.prefill_chunk(
+                        r.remaining_prefill, past_len=r.prefill_done, is_last=True
+                    ),
+                )
+                for r in pending_prefill
+            ]
+        # Line 10: decode-only iterations until the batch drains.
+        return [
+            ScheduledWork(request=r, work=TokenWork.decode(r.context_len))
+            for r in schedulable
+        ]
+
+    def _admit_new_batch(self) -> None:
+        while len(self._members) < self.max_batch_size:
+            admitted = self._admit_waiting_head()
+            if admitted is None:
+                break
+            self._members.append(admitted)

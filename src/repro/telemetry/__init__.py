@@ -1,0 +1,19 @@
+"""Telemetry export (§4.4's "extensive telemetry system")."""
+
+from repro.telemetry.recorder import (
+    iteration_rows,
+    read_jsonl,
+    request_rows,
+    run_counters,
+    write_csv,
+    write_jsonl,
+)
+
+__all__ = [
+    "iteration_rows",
+    "request_rows",
+    "run_counters",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+]

@@ -1,0 +1,57 @@
+"""Workload synthesis: length distributions, arrivals, and datasets."""
+
+from repro.workload.arrival import (
+    ArrivalProcess,
+    GammaArrivals,
+    PoissonArrivals,
+    StaticArrivals,
+    UniformArrivals,
+)
+from repro.workload.datasets import (
+    ARXIV_SUMMARIZATION,
+    SHAREGPT4,
+    DatasetSpec,
+    generate_requests,
+    get_dataset,
+)
+from repro.workload.conversation import (
+    ConversationSpec,
+    ConversationWorkload,
+    simulate_conversations,
+)
+from repro.workload.distributions import (
+    FixedLengths,
+    LengthDistribution,
+    LogNormalLengths,
+    UniformLengths,
+)
+from repro.workload.trace import (
+    TraceStatistics,
+    load_trace,
+    save_trace,
+    trace_statistics,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "GammaArrivals",
+    "UniformArrivals",
+    "StaticArrivals",
+    "DatasetSpec",
+    "SHAREGPT4",
+    "ARXIV_SUMMARIZATION",
+    "get_dataset",
+    "generate_requests",
+    "LengthDistribution",
+    "LogNormalLengths",
+    "FixedLengths",
+    "UniformLengths",
+    "ConversationSpec",
+    "ConversationWorkload",
+    "simulate_conversations",
+    "TraceStatistics",
+    "save_trace",
+    "load_trace",
+    "trace_statistics",
+]

@@ -1,0 +1,76 @@
+"""Request arrival processes.
+
+The paper generates arrival times from a Poisson process (§5); we also
+provide Gamma (burstier or smoother, via the coefficient of variation),
+uniform-spaced, and all-at-once static arrivals for closed-loop
+experiments such as Fig. 1a's 128-request replay.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates monotonically non-decreasing arrival timestamps."""
+
+    @abc.abstractmethod
+    def arrival_times(self, rng: np.random.Generator, n: int) -> list[float]:
+        """Timestamps (seconds, starting near 0) for ``n`` requests."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a given average rate (queries/second)."""
+
+    def __init__(self, qps: float) -> None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        self.qps = qps
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> list[float]:
+        gaps = rng.exponential(1.0 / self.qps, size=n)
+        return list(np.cumsum(gaps))
+
+
+class GammaArrivals(ArrivalProcess):
+    """Gamma-distributed inter-arrivals with a tunable burstiness.
+
+    ``cv`` is the coefficient of variation of the gaps: 1.0 recovers
+    Poisson, >1 is burstier, <1 is smoother.
+    """
+
+    def __init__(self, qps: float, cv: float = 1.0) -> None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if cv <= 0:
+            raise ValueError("cv must be positive")
+        self.qps = qps
+        self.cv = cv
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> list[float]:
+        shape = 1.0 / (self.cv**2)
+        scale = self.cv**2 / self.qps
+        gaps = rng.gamma(shape, scale, size=n)
+        return list(np.cumsum(gaps))
+
+
+class UniformArrivals(ArrivalProcess):
+    """Perfectly paced arrivals, one every ``1/qps`` seconds."""
+
+    def __init__(self, qps: float) -> None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        self.qps = qps
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> list[float]:
+        gap = 1.0 / self.qps
+        return [gap * (i + 1) for i in range(n)]
+
+
+class StaticArrivals(ArrivalProcess):
+    """Everything arrives at t=0 (closed-loop replay)."""
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> list[float]:
+        return [0.0] * n

@@ -1,0 +1,96 @@
+"""The paper's two evaluation workloads, synthesized from Table 2.
+
+``openchat_sharegpt4`` — chatbot conversations: medium prompts with
+high variance, longer outputs.  ``arxiv_summarization`` — document
+summarization: very long prompts, short outputs.  Requests whose total
+length exceeds the dataset cap are filtered, matching §5's outlier
+removal (8192 and 16384 tokens respectively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import Request
+from repro.workload.arrival import ArrivalProcess, PoissonArrivals, StaticArrivals
+from repro.workload.distributions import LengthDistribution, LogNormalLengths
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named workload: length distributions plus the total-length cap."""
+
+    name: str
+    prompt_lengths: LengthDistribution
+    output_lengths: LengthDistribution
+    max_total_len: int
+
+    def sample_lengths(self, rng: np.random.Generator) -> tuple[int, int]:
+        """One (prompt, output) pair, rejection-sampled under the cap."""
+        for _ in range(1000):
+            prompt = self.prompt_lengths.sample(rng)
+            output = self.output_lengths.sample(rng)
+            if prompt + output <= self.max_total_len:
+                return prompt, output
+        raise RuntimeError(
+            f"dataset {self.name}: could not sample under cap "
+            f"{self.max_total_len} after 1000 tries"
+        )
+
+
+SHAREGPT4 = DatasetSpec(
+    name="openchat_sharegpt4",
+    prompt_lengths=LogNormalLengths(median=1730, p90=5696, min_len=16),
+    output_lengths=LogNormalLengths(median=415, p90=834, min_len=4),
+    max_total_len=8192,
+)
+
+ARXIV_SUMMARIZATION = DatasetSpec(
+    name="arxiv_summarization",
+    prompt_lengths=LogNormalLengths(median=7059, p90=12985, min_len=64),
+    output_lengths=LogNormalLengths(median=208, p90=371, min_len=4),
+    max_total_len=16384,
+)
+
+_DATASETS = {d.name: d for d in (SHAREGPT4, ARXIV_SUMMARIZATION)}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    key = name.lower()
+    if key not in _DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(_DATASETS)}")
+    return _DATASETS[key]
+
+
+def generate_requests(
+    dataset: DatasetSpec,
+    num_requests: int,
+    arrivals: ArrivalProcess | None = None,
+    qps: float | None = None,
+    seed: int = 0,
+) -> list[Request]:
+    """Synthesize a request trace from a dataset spec.
+
+    Provide either an ``arrivals`` process or a ``qps`` (Poisson, the
+    paper's default); neither gives a closed-loop trace where all
+    requests arrive at t=0.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if arrivals is not None and qps is not None:
+        raise ValueError("pass either arrivals or qps, not both")
+    if arrivals is None:
+        arrivals = PoissonArrivals(qps) if qps is not None else StaticArrivals()
+
+    rng = np.random.default_rng(seed)
+    times = arrivals.arrival_times(rng, num_requests)
+    requests = []
+    for arrival_time in times:
+        prompt, output = dataset.sample_lengths(rng)
+        requests.append(
+            Request(prompt_len=prompt, output_len=output, arrival_time=arrival_time)
+        )
+    return requests

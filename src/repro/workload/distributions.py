@@ -1,0 +1,100 @@
+"""Token-length distributions fitted from published summary statistics.
+
+The paper publishes median / P90 / std of prompt and output lengths
+for both evaluation datasets (Table 2) but not the raw traces.  LLM
+request lengths are classically heavy-tailed and well described by a
+lognormal, which we can fit exactly from two quantiles: with
+``median = exp(mu)`` and ``P90 = exp(mu + 1.2816 * sigma)``,
+
+    mu    = ln(median)
+    sigma = (ln(P90) - ln(median)) / 1.2816
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+# Standard normal 90th-percentile z-score.
+Z90 = 1.2815515655446004
+
+
+class LengthDistribution(abc.ABC):
+    """A distribution over positive integer token counts."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one length."""
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[int]:
+        return [self.sample(rng) for _ in range(n)]
+
+
+class LogNormalLengths(LengthDistribution):
+    """Lognormal lengths parameterized by median and P90."""
+
+    def __init__(
+        self,
+        median: float,
+        p90: float,
+        min_len: int = 1,
+        max_len: int | None = None,
+    ) -> None:
+        if median <= 0 or p90 <= median:
+            raise ValueError("need 0 < median < p90")
+        if min_len < 1:
+            raise ValueError("min_len must be >= 1")
+        if max_len is not None and max_len < min_len:
+            raise ValueError("max_len must be >= min_len")
+        self.median = median
+        self.p90 = p90
+        self.min_len = min_len
+        self.max_len = max_len
+        self.mu = math.log(median)
+        self.sigma = (math.log(p90) - self.mu) / Z90
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = int(round(rng.lognormal(self.mu, self.sigma)))
+        value = max(value, self.min_len)
+        if self.max_len is not None:
+            value = min(value, self.max_len)
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"LogNormalLengths(median={self.median}, p90={self.p90}, "
+            f"min={self.min_len}, max={self.max_len})"
+        )
+
+
+class FixedLengths(LengthDistribution):
+    """Degenerate distribution — every request has the same length."""
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        self.length = length
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"FixedLengths({self.length})"
+
+
+class UniformLengths(LengthDistribution):
+    """Uniform integer lengths over ``[low, high]``."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if not 1 <= low <= high:
+            raise ValueError("need 1 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def __repr__(self) -> str:
+        return f"UniformLengths({self.low}, {self.high})"

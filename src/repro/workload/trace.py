@@ -1,0 +1,102 @@
+"""Trace serialization and summary statistics.
+
+Traces are the unit of reproducibility: a JSONL file of
+``(arrival_time, prompt_len, output_len)`` triples replays identically
+across schedulers, scales and machines.  ``trace_statistics`` produces
+the Table-2-style summary (median / P90 / std of prompt and output
+lengths) for any trace, synthetic or imported.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.types import Request
+
+
+def save_trace(path: str | Path, requests: list[Request]) -> Path:
+    """Write a trace as JSON Lines (arrival order preserved)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for request in requests:
+            handle.write(
+                json.dumps(
+                    {
+                        "arrival_time": request.arrival_time,
+                        "prompt_len": request.prompt_len,
+                        "output_len": request.output_len,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def load_trace(path: str | Path) -> list[Request]:
+    """Load a trace written by :func:`save_trace` (fresh request ids)."""
+    path = Path(path)
+    requests = []
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                requests.append(
+                    Request(
+                        prompt_len=int(row["prompt_len"]),
+                        output_len=int(row["output_len"]),
+                        arrival_time=float(row["arrival_time"]),
+                    )
+                )
+            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace row: {exc}") from exc
+    return requests
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Table-2-style length summary of a trace."""
+
+    num_requests: int
+    prompt_median: float
+    prompt_p90: float
+    prompt_std: float
+    output_median: float
+    output_p90: float
+    output_std: float
+    mean_arrival_rate: float
+
+    def as_table2_row(self) -> str:
+        return (
+            f"prompt median/P90/std = {self.prompt_median:.0f}/"
+            f"{self.prompt_p90:.0f}/{self.prompt_std:.0f}, "
+            f"output median/P90/std = {self.output_median:.0f}/"
+            f"{self.output_p90:.0f}/{self.output_std:.0f}"
+        )
+
+
+def trace_statistics(requests: list[Request]) -> TraceStatistics:
+    """Summary statistics of a trace (lengths + arrival rate)."""
+    if not requests:
+        raise ValueError("cannot summarize an empty trace")
+    prompts = np.array([r.prompt_len for r in requests], dtype=float)
+    outputs = np.array([r.output_len for r in requests], dtype=float)
+    arrivals = sorted(r.arrival_time for r in requests)
+    span = arrivals[-1] - arrivals[0]
+    rate = (len(requests) - 1) / span if span > 0 else float("inf")
+    return TraceStatistics(
+        num_requests=len(requests),
+        prompt_median=float(np.median(prompts)),
+        prompt_p90=float(np.percentile(prompts, 90)),
+        prompt_std=float(np.std(prompts)),
+        output_median=float(np.median(outputs)),
+        output_p90=float(np.percentile(outputs, 90)),
+        output_std=float(np.std(outputs)),
+        mean_arrival_rate=rate,
+    )

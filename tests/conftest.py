@@ -1,0 +1,59 @@
+"""Shared fixtures: small deployments and request factories.
+
+Simulation tests run against the Tiny-1B catalog model so the whole
+suite stays fast while exercising exactly the same code paths as the
+paper-scale models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Deployment
+from repro.hardware.catalog import A100_80G, ETHERNET_100G
+from repro.memory.block_manager import PagedBlockManager, ReservationManager
+from repro.models.catalog import TINY_1B
+from repro.parallel.config import ParallelConfig
+from repro.types import Request
+
+
+@pytest.fixture
+def tiny_deployment() -> Deployment:
+    """Tiny-1B on one A100 — the fast single-stage test deployment."""
+    return Deployment(model=TINY_1B, gpu=A100_80G)
+
+
+@pytest.fixture
+def tiny_pp_deployment() -> Deployment:
+    """Tiny-1B on two A100s with 2-way pipeline parallelism."""
+    return Deployment(
+        model=TINY_1B,
+        gpu=A100_80G,
+        parallel=ParallelConfig(pipeline_parallel=2, pp_link=ETHERNET_100G),
+    )
+
+
+@pytest.fixture
+def paged_memory() -> PagedBlockManager:
+    return PagedBlockManager(capacity_tokens=4096, block_size=16)
+
+
+@pytest.fixture
+def reservation_memory() -> ReservationManager:
+    return ReservationManager(capacity_tokens=8192, reserve_len=1024)
+
+
+def make_request(
+    prompt_len: int = 64,
+    output_len: int = 8,
+    arrival_time: float = 0.0,
+) -> Request:
+    """A request with small defaults for unit tests."""
+    return Request(
+        prompt_len=prompt_len, output_len=output_len, arrival_time=arrival_time
+    )
+
+
+@pytest.fixture
+def request_factory():
+    return make_request

@@ -1,0 +1,83 @@
+"""Smoke/shape tests for the design-choice ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_allocator_comparison,
+    run_budget_sweep,
+    run_dynamic_budget_comparison,
+    run_tile_quantization,
+)
+from repro.experiments.common import Scale
+from repro.experiments.disagg_comparison import run_disagg_comparison
+
+TINY = Scale(num_requests=24, capacity_rel_tol=0.5, capacity_max_probes=5)
+
+
+class TestBudgetSweep:
+    def test_tbt_monotone_ttft_antitone(self):
+        points = run_budget_sweep(TINY, budgets=(128, 512, 2048))
+        tbts = [p.p99_tbt for p in points]
+        assert tbts == sorted(tbts)
+        assert points[-1].median_ttft <= points[0].median_ttft * 1.2
+
+    def test_budget_column_matches_request(self):
+        points = run_budget_sweep(TINY, budgets=(256, 1024))
+        assert [p.token_budget for p in points] == [256, 1024]
+
+
+class TestTileQuantization:
+    def test_boundary_step_cost(self):
+        points = {p.chunk: p for p in run_tile_quantization(boundary=256)}
+        assert points[257].with_tiles > 1.1 * points[256].with_tiles
+        assert points[257].without_tiles == pytest.approx(
+            points[256].without_tiles, rel=0.05
+        )
+
+    def test_aligned_chunks_identical_either_way(self):
+        points = {p.chunk: p for p in run_tile_quantization(boundary=256)}
+        assert points[256].with_tiles == pytest.approx(
+            points[256].without_tiles, rel=0.02
+        )
+
+
+class TestAllocatorComparison:
+    def test_reservation_queues_more(self):
+        points = {p.allocator: p for p in run_allocator_comparison(TINY)}
+        assert set(points) == {"paged", "reservation"}
+        assert (
+            points["paged"].p99_scheduling_delay
+            <= points["reservation"].p99_scheduling_delay
+        )
+
+
+class TestDynamicBudget:
+    def test_dynamic_uses_headroom(self):
+        points = {p.variant: p for p in run_dynamic_budget_comparison(TINY)}
+        assert points["dynamic"].mean_budget > points["static-512"].mean_budget
+        assert points["dynamic"].median_ttft <= points["static-512"].median_ttft * 1.1
+
+
+class TestDisaggComparison:
+    def test_three_systems_reported(self):
+        points = run_disagg_comparison(TINY)
+        names = [p.system for p in points]
+        assert names[0] == "sarathi-2-replicas"
+        assert any("NVLink" in n for n in names)
+        assert any("Ethernet" in n for n in names)
+
+    def test_disagg_decode_interference_free(self):
+        points = {p.system: p for p in run_disagg_comparison(TINY)}
+        sarathi = points["sarathi-2-replicas"]
+        disagg = points["disagg-1P1D-NVLink"]
+        assert disagg.p99_tbt < sarathi.p99_tbt
+        assert disagg.num_migrations > 0
+
+    def test_ethernet_migration_costs_more(self):
+        points = {p.system: p for p in run_disagg_comparison(TINY)}
+        assert (
+            points["disagg-1P1D-Ethernet-100G"].total_migration_time
+            > 3 * points["disagg-1P1D-NVLink"].total_migration_time
+        )

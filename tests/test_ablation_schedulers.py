@@ -1,0 +1,88 @@
+"""Tests for the Table 4 ablation schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.block_manager import PagedBlockManager
+from repro.scheduling.ablations import (
+    ChunkedPrefillsOnlyScheduler,
+    hybrid_batching_only_scheduler,
+)
+
+from tests.conftest import make_request
+from tests.test_baseline_schedulers import drain
+
+
+def chunked_only(token_budget=256, max_batch_size=8, capacity=65536):
+    memory = PagedBlockManager(capacity, block_size=16, watermark=0.0)
+    return ChunkedPrefillsOnlyScheduler(
+        memory, token_budget=token_budget, max_batch_size=max_batch_size
+    )
+
+
+class TestChunkedPrefillsOnly:
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            chunked_only(token_budget=0)
+
+    def test_batches_never_hybrid(self):
+        s = chunked_only()
+        for _ in range(3):
+            s.add_request(make_request(prompt_len=600, output_len=6), now=0.0)
+        now = 0.0
+        while s.has_work:
+            batch = s.schedule(now)
+            if batch is None:
+                break
+            assert not batch.is_hybrid
+            now += 0.1
+            s.on_batch_complete(batch, now)
+
+    def test_prefill_batches_respect_budget(self):
+        s = chunked_only(token_budget=256)
+        s.add_request(make_request(prompt_len=2000, output_len=2), now=0.0)
+        batch = s.schedule(now=0.0)
+        assert batch.num_prefill_tokens == 256
+
+    def test_alternates_decode_and_prefill(self):
+        """A running decode is stalled by at most one chunk iteration."""
+        s = chunked_only(token_budget=256)
+        decoder = make_request(prompt_len=64, output_len=20)
+        s.add_request(decoder, now=0.0)
+        s.on_batch_complete(s.schedule(now=0.0), now=0.1)
+        s.add_request(make_request(prompt_len=2000, output_len=2), now=0.1)
+        kinds = []
+        now = 0.1
+        for _ in range(6):
+            batch = s.schedule(now)
+            kinds.append("p" if batch.num_prefill_seqs else "d")
+            now += 0.1
+            s.on_batch_complete(batch, now)
+        # Strict alternation while both phases have work.
+        assert kinds[:6] in (["p", "d"] * 3, ["d", "p"] * 3)
+
+    def test_all_requests_complete(self):
+        s = chunked_only()
+        requests = [make_request(prompt_len=300, output_len=5) for _ in range(6)]
+        for r in requests:
+            s.add_request(r, now=0.0)
+        drain(s)
+        assert all(r.is_finished for r in requests)
+
+
+class TestHybridBatchingOnlyFactory:
+    def test_factory_disables_chunking(self):
+        s = hybrid_batching_only_scheduler(
+            PagedBlockManager(65536), token_budget=256
+        )
+        assert s.name == "hybrid-batching-only"
+        assert not s.chunk_prefills
+
+    def test_behaves_like_unchunked_sarathi(self):
+        s = hybrid_batching_only_scheduler(
+            PagedBlockManager(65536, watermark=0.0), token_budget=256
+        )
+        s.add_request(make_request(prompt_len=4096, output_len=2), now=0.0)
+        batch = s.schedule(now=0.0)
+        assert batch.num_prefill_tokens == 4096

@@ -1,0 +1,43 @@
+"""Calibration-anchor regression tests.
+
+These pin the perf model to the absolute numbers the paper publishes;
+any refactor of the roofline constants must keep them green.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.calibration import Calibration
+from repro.perf.validation import AnchorCheck, assert_calibrated, validate_calibration
+
+
+class TestAnchors:
+    def test_all_anchors_pass_with_default_calibration(self):
+        checks = validate_calibration()
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(str(c) for c in failed)
+
+    def test_anchor_names_cover_the_key_claims(self):
+        names = " ".join(c.name for c in validate_calibration())
+        for keyword in ("SLO", "prefill", "chunk", "decode", "tile"):
+            assert keyword in names
+
+    def test_assert_calibrated_passes(self):
+        assert_calibrated()
+
+    def test_assert_calibrated_detects_drift(self):
+        # Gut the GEMM efficiency: prefill anchors must blow up.
+        broken = Calibration(matmul_efficiency=0.05)
+        with pytest.raises(AssertionError, match="drifted"):
+            assert_calibrated(broken)
+
+    def test_anchor_check_formatting(self):
+        check = AnchorCheck(
+            name="x", source="paper", measured=2.0, low=1.0, high=3.0
+        )
+        assert check.passed
+        assert "ok" in str(check)
+        bad = AnchorCheck(name="x", source="paper", measured=5.0, low=1.0, high=3.0)
+        assert not bad.passed
+        assert "OFF" in str(bad)

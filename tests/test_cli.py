@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.model == "mistral-7b"
+        assert args.scheduler == "sarathi"
+        assert args.qps == 1.0
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheduler", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Mistral-7B" in out
+        assert "sarathi" in out
+
+    def test_budget(self, capsys):
+        assert main(["budget", "--model", "tiny-1b"]) == 0
+        out = capsys.readouterr().out
+        assert "token budget" in out
+        assert "strict" in out and "relaxed" in out
+
+    def test_budget_profile_flag(self, capsys):
+        assert main(["budget", "--model", "tiny-1b", "--profile"]) == 0
+        assert "budget profile" in capsys.readouterr().out
+
+    def test_simulate_small_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "tiny-1b",
+                "--qps", "4",
+                "--requests", "16",
+                "--scheduler", "sarathi",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P99 TBT" in out
+        assert "throughput" in out
+
+    def test_simulate_with_parallelism(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "tiny-1b",
+                "--pp", "2",
+                "--cross-node-pp",
+                "--qps", "4",
+                "--requests", "12",
+            ]
+        )
+        assert code == 0
+        assert "TP1-PP2" in capsys.readouterr().out
+
+    def test_capacity_smoke(self, capsys):
+        code = main(
+            [
+                "capacity",
+                "--model", "tiny-1b",
+                "--requests", "16",
+                "--probes", "4",
+                "--qps-hint", "4",
+            ]
+        )
+        assert code == 0
+        assert "capacity:" in capsys.readouterr().out
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(KeyError):
+            main(["budget", "--model", "gpt-99"])
+
+
+class TestCompareCommand:
+    def test_compare_prints_markdown(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model", "tiny-1b",
+                "--qps", "4",
+                "--requests", "12",
+                "--token-budget", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| scheduler |" in out
+        assert "sarathi" in out and "faster_transformer" in out

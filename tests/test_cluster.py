@@ -1,0 +1,117 @@
+"""Tests for multi-replica routing and fleet simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ServingConfig
+from repro.cluster.cluster import simulate_cluster
+from repro.cluster.router import LeastTokensRouter, RoundRobinRouter, Router
+
+from tests.conftest import make_request
+
+
+class TestRouters:
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError):
+            RoundRobinRouter(0)
+
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter(3)
+        choices = [router.route(make_request()) for _ in range(6)]
+        assert choices == [0, 1, 2, 0, 1, 2]
+
+    def test_least_tokens_balances_heavy_tail(self):
+        router = LeastTokensRouter(2)
+        heavy = make_request(prompt_len=10_000, output_len=100)
+        assert router.route(heavy) == 0
+        # The next several small requests all avoid the loaded replica.
+        for _ in range(5):
+            light = make_request(prompt_len=100, output_len=10)
+            assert router.route(light) == 1
+
+    def test_least_tokens_eventually_rebalances(self):
+        router = LeastTokensRouter(2)
+        router.route(make_request(prompt_len=1000, output_len=100))
+        total = 0
+        while router.route(make_request(prompt_len=200, output_len=20)) == 1:
+            total += 220
+            assert total < 2000
+        assert total > 0
+
+
+class TestSimulateCluster:
+    def _trace(self, n=30, qps_gap=0.05):
+        return [
+            make_request(prompt_len=128, output_len=6, arrival_time=qps_gap * i)
+            for i in range(n)
+        ]
+
+    def test_all_requests_finish(self, tiny_deployment):
+        result, metrics = simulate_cluster(
+            tiny_deployment, ServingConfig(), self._trace(), num_replicas=3
+        )
+        assert metrics.num_requests == 30
+        merged = result.merged()
+        assert not merged.unfinished
+
+    def test_single_replica_matches_simulate(self, tiny_deployment):
+        from repro.api import simulate
+
+        trace = self._trace()
+        _, solo = simulate(tiny_deployment, ServingConfig(), trace)
+        _, fleet = simulate_cluster(
+            tiny_deployment, ServingConfig(), trace, num_replicas=1
+        )
+        assert fleet.p99_tbt == pytest.approx(solo.p99_tbt)
+        assert fleet.median_ttft == pytest.approx(solo.median_ttft)
+
+    def test_more_replicas_reduce_queueing(self, tiny_deployment):
+        trace = [
+            make_request(prompt_len=1500, output_len=20, arrival_time=0.02 * i)
+            for i in range(40)
+        ]
+        _, one = simulate_cluster(tiny_deployment, ServingConfig(), trace, 1)
+        _, four = simulate_cluster(tiny_deployment, ServingConfig(), trace, 4)
+        assert four.median_ttft < one.median_ttft
+
+    def test_input_not_mutated(self, tiny_deployment):
+        trace = self._trace()
+        simulate_cluster(tiny_deployment, ServingConfig(), trace, num_replicas=2)
+        assert all(r.prefill_done == 0 for r in trace)
+
+    def test_router_replica_mismatch_rejected(self, tiny_deployment):
+        with pytest.raises(ValueError, match="router is configured"):
+            simulate_cluster(
+                tiny_deployment,
+                ServingConfig(),
+                self._trace(),
+                num_replicas=3,
+                router=RoundRobinRouter(2),
+            )
+
+    def test_bad_router_output_rejected(self, tiny_deployment):
+        class BadRouter(Router):
+            def route(self, request):
+                return 99
+
+        with pytest.raises(ValueError, match="invalid replica"):
+            simulate_cluster(
+                tiny_deployment,
+                ServingConfig(),
+                self._trace(),
+                num_replicas=2,
+                router=BadRouter(2),
+            )
+
+    def test_empty_trace_rejected(self, tiny_deployment):
+        with pytest.raises(ValueError):
+            simulate_cluster(tiny_deployment, ServingConfig(), [], num_replicas=2)
+
+    def test_assignments_cover_all_requests(self, tiny_deployment):
+        trace = self._trace(n=20)
+        result, _ = simulate_cluster(
+            tiny_deployment, ServingConfig(), trace, num_replicas=4
+        )
+        assert len(result.assignments) == 20
+        assert all(0 <= a < 4 for a in result.assignments)

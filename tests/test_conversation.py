@@ -1,0 +1,163 @@
+"""Tests for multi-round conversation workloads and the followup hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ServingConfig, build_engine
+from repro.types import Request
+from repro.workload.conversation import (
+    ConversationSpec,
+    ConversationWorkload,
+    simulate_conversations,
+)
+from repro.workload.distributions import FixedLengths
+
+from tests.conftest import make_request
+
+
+def small_spec(**overrides) -> ConversationSpec:
+    defaults = dict(
+        num_conversations=5,
+        first_turn_lengths=FixedLengths(100),
+        followup_turn_lengths=FixedLengths(50),
+        response_lengths=FixedLengths(10),
+        mean_rounds=3.0,
+        mean_think_time=0.5,
+        arrival_qps=2.0,
+    )
+    defaults.update(overrides)
+    return ConversationSpec(**defaults)
+
+
+class TestConversationSpec:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_conversations", 0),
+            ("mean_rounds", 0.5),
+            ("mean_think_time", -1.0),
+            ("arrival_qps", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            small_spec(**{field: value})
+
+
+class TestConversationWorkload:
+    def test_initial_requests_poisson_spaced(self):
+        workload = ConversationWorkload(small_spec(), seed=1)
+        requests = workload.initial_requests()
+        assert len(requests) == 5
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(r.prompt_len == 100 for r in requests)
+
+    def test_followup_grows_context(self):
+        workload = ConversationWorkload(small_spec(mean_rounds=10.0), seed=2)
+        first = workload.initial_requests()[0]
+        first.record_prefill(first.prompt_len, now=1.0)
+        while not first.is_finished:
+            first.record_decode(now=2.0)
+        followups = workload.followup(first, now=2.0)
+        if followups:  # geometric rounds can stop after one
+            nxt = followups[0]
+            # Next prompt = prior context (100 + 10) + new 50-token turn.
+            assert nxt.prompt_len == 160
+            assert nxt.arrival_time >= 2.0
+
+    def test_unknown_request_yields_nothing(self):
+        workload = ConversationWorkload(small_spec(), seed=0)
+        workload.initial_requests()
+        stranger = make_request()
+        assert workload.followup(stranger, now=1.0) == []
+
+    def test_round_budget_respected(self):
+        spec = small_spec(mean_rounds=1.0)  # geometric(1.0) == exactly 1 round
+        workload = ConversationWorkload(spec, seed=0)
+        requests = workload.initial_requests()
+        for request in requests:
+            request.record_prefill(request.prompt_len, now=1.0)
+            while not request.is_finished:
+                request.record_decode(now=1.5)
+            assert workload.followup(request, now=1.5) == []
+
+    def test_context_cap_stops_conversation(self):
+        spec = small_spec(
+            first_turn_lengths=FixedLengths(4400),
+            response_lengths=FixedLengths(200),
+            max_context=4500,
+            mean_rounds=50.0,
+        )
+        workload = ConversationWorkload(spec, seed=0)
+        request = workload.initial_requests()[0]
+        request.record_prefill(request.prompt_len, now=1.0)
+        while not request.is_finished:
+            request.record_decode(now=1.5)
+        assert workload.followup(request, now=1.5) == []
+
+
+class TestEngineFollowupHook:
+    def test_followups_are_simulated(self, tiny_deployment):
+        engine = build_engine(tiny_deployment, ServingConfig())
+        root = make_request(prompt_len=64, output_len=2)
+
+        def one_followup(request: Request, now: float) -> list[Request]:
+            if request is root:
+                return [Request(prompt_len=32, output_len=2, arrival_time=now + 0.5)]
+            return []
+
+        result = engine.run([root], followup_fn=one_followup)
+        assert len(result.requests) == 2
+        assert all(r.is_finished for r in result.requests)
+        child = result.requests[1]
+        assert child.arrival_time >= root.finished_at
+
+    def test_past_arrival_rejected(self, tiny_deployment):
+        engine = build_engine(tiny_deployment, ServingConfig())
+        root = make_request(prompt_len=64, output_len=2)
+
+        def bad_followup(request, now):
+            return [Request(prompt_len=32, output_len=2, arrival_time=now - 5.0)]
+
+        with pytest.raises(ValueError, match="past"):
+            engine.run([root], followup_fn=bad_followup)
+
+    def test_no_hook_means_no_extras(self, tiny_deployment):
+        engine = build_engine(tiny_deployment, ServingConfig())
+        result = engine.run([make_request(prompt_len=64, output_len=2)])
+        assert len(result.requests) == 1
+
+
+class TestSimulateConversations:
+    def test_end_to_end(self, tiny_deployment):
+        spec = small_spec(num_conversations=8, mean_rounds=2.0)
+        result, metrics = simulate_conversations(
+            tiny_deployment, ServingConfig(token_budget=128), spec, seed=4
+        )
+        # At least the initial rounds ran; geometric rounds add more.
+        assert metrics.num_requests >= 8
+        assert all(r.is_finished for r in result.requests)
+
+    def test_seed_reproducible_request_count(self, tiny_deployment):
+        spec = small_spec(num_conversations=6)
+        _, a = simulate_conversations(tiny_deployment, ServingConfig(), spec, seed=7)
+        _, b = simulate_conversations(tiny_deployment, ServingConfig(), spec, seed=7)
+        assert a.num_requests == b.num_requests
+        assert a.median_ttft == pytest.approx(b.median_ttft)
+
+
+class TestFollowupUnderPipelineParallelism:
+    def test_conversations_complete_on_pp2(self, tiny_pp_deployment):
+        """The followup hook fires at last-stage completion; multi-round
+        conversations must work under pipeline parallelism too."""
+        from repro.api import ServingConfig
+
+        spec = small_spec(num_conversations=6, mean_rounds=2.0)
+        result, metrics = simulate_conversations(
+            tiny_pp_deployment, ServingConfig(token_budget=128), spec, seed=9
+        )
+        assert metrics.num_requests >= 6
+        assert all(r.is_finished for r in result.requests)
+        assert result.num_stages == 2

@@ -1,0 +1,80 @@
+"""Tests for GPU and interconnect specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.catalog import (
+    A40_48G,
+    A100_80G,
+    ETHERNET_100G,
+    H100_80G,
+    NVLINK,
+    PCIE_4,
+    get_gpu,
+    get_link,
+)
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.interconnect import LinkSpec
+
+
+class TestGPUSpec:
+    def test_ridge_intensity(self):
+        # A100: 312 TFLOPs / 2 TB/s = 156 FLOPs/byte.
+        assert A100_80G.ridge_intensity == pytest.approx(156.0)
+
+    def test_math_time(self):
+        assert A100_80G.math_time(312e12) == pytest.approx(1.0)
+        assert A100_80G.math_time(312e12, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_mem_time(self):
+        assert A100_80G.mem_time(2.0e12) == pytest.approx(1.0)
+        assert A100_80G.mem_time(1.0e12, efficiency=0.5) == pytest.approx(1.0)
+
+    def test_a40_slower_than_a100(self):
+        assert A40_48G.peak_flops < A100_80G.peak_flops
+        assert A40_48G.memory_bandwidth < A100_80G.memory_bandwidth
+
+    @pytest.mark.parametrize("flops,bw,cap", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_invalid_spec_rejected(self, flops, bw, cap):
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", peak_flops=flops, memory_bandwidth=bw, memory_capacity=cap)
+
+    def test_catalog_lookup(self):
+        assert get_gpu("a100-80gb") is A100_80G
+        assert get_gpu("H100-80GB") is H100_80G
+        with pytest.raises(KeyError):
+            get_gpu("tpu-v5")
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec(name="t", bandwidth=1e9, latency=1e-5)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_allreduce_time_single_rank_is_free(self):
+        assert NVLINK.allreduce_time(1 << 20, world_size=1) == 0.0
+
+    def test_allreduce_volume_scaling(self):
+        # Ring allreduce moves 2(n-1)/n of the buffer per rank.
+        size = 8 << 20
+        t2 = NVLINK.allreduce_time(size, 2)
+        t8 = NVLINK.allreduce_time(size, 8)
+        # More ranks -> more volume (1.0x -> 1.75x) and more latency steps.
+        assert t8 > t2
+
+    def test_ethernet_much_slower_than_nvlink(self):
+        size = 1 << 20
+        assert ETHERNET_100G.allreduce_time(size, 4) > 5 * NVLINK.allreduce_time(size, 4)
+
+    def test_invalid_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth=0, latency=0)
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth=1, latency=-1)
+
+    def test_catalog_lookup(self):
+        assert get_link("nvlink") is NVLINK
+        assert get_link("PCIe-4.0") is PCIE_4
+        with pytest.raises(KeyError):
+            get_link("infiniband")

@@ -1,0 +1,231 @@
+"""Tests for the paged and reservation KV-cache allocators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.catalog import A40_48G, A100_80G
+from repro.memory.block_manager import PagedBlockManager, ReservationManager
+from repro.memory.capacity import kv_token_capacity
+from repro.models.catalog import FALCON_180B, MISTRAL_7B, YI_34B
+from repro.parallel.config import ParallelConfig
+from repro.types import Request
+
+from tests.conftest import make_request
+
+
+class TestPagedBlockManager:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            PagedBlockManager(capacity_tokens=0)
+        with pytest.raises(ValueError):
+            PagedBlockManager(capacity_tokens=100, block_size=0)
+        with pytest.raises(ValueError):
+            PagedBlockManager(capacity_tokens=100, watermark=1.0)
+
+    def test_blocks_for_rounds_up(self):
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16)
+        assert mgr.blocks_for(1) == 1
+        assert mgr.blocks_for(16) == 1
+        assert mgr.blocks_for(17) == 2
+
+    def test_admit_claims_prompt_blocks(self):
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=100)
+        assert mgr.can_admit(r)
+        mgr.admit(r)
+        assert mgr.holds(r)
+        assert mgr.free_blocks == 64 - 7  # ceil(100/16) = 7
+
+    def test_double_admit_rejected(self):
+        mgr = PagedBlockManager(capacity_tokens=1024)
+        r = make_request()
+        mgr.admit(r)
+        with pytest.raises(ValueError):
+            mgr.admit(r)
+
+    def test_admission_respects_watermark(self):
+        mgr = PagedBlockManager(capacity_tokens=1600, block_size=16, watermark=0.10)
+        # 100 blocks, 10 reserved as watermark.
+        big = make_request(prompt_len=16 * 91)
+        assert not mgr.can_admit(big)
+        ok = make_request(prompt_len=16 * 90)
+        assert mgr.can_admit(ok)
+
+    def test_admit_beyond_capacity_raises(self):
+        mgr = PagedBlockManager(capacity_tokens=64, block_size=16)
+        with pytest.raises(MemoryError):
+            mgr.admit(make_request(prompt_len=1000))
+
+    def test_decode_growth_within_block_is_free(self):
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=10, output_len=4)
+        mgr.admit(r)
+        r.record_prefill(10, now=0.0)
+        free_before = mgr.free_blocks
+        assert mgr.can_append_token(r)
+        mgr.append_token(r)  # token 11 fits in the first block
+        assert mgr.free_blocks == free_before
+
+    def test_decode_growth_allocates_new_block_on_boundary(self):
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=16, output_len=4)
+        mgr.admit(r)
+        r.record_prefill(16, now=0.0)
+        free_before = mgr.free_blocks
+        mgr.append_token(r)  # token 17 needs block #2
+        assert mgr.free_blocks == free_before - 1
+
+    def test_cannot_append_when_exhausted(self):
+        mgr = PagedBlockManager(capacity_tokens=32, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=32, output_len=4)
+        mgr.admit(r)
+        r.record_prefill(32, now=0.0)
+        assert not mgr.can_append_token(r)
+        with pytest.raises(MemoryError):
+            mgr.append_token(r)
+
+    def test_append_without_allocation_rejected(self):
+        mgr = PagedBlockManager(capacity_tokens=1024)
+        with pytest.raises(ValueError):
+            mgr.append_token(make_request())
+
+    def test_free_returns_blocks(self):
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=160)
+        mgr.admit(r)
+        mgr.free(r)
+        assert mgr.free_blocks == 64
+        assert not mgr.holds(r)
+
+    def test_free_is_idempotent(self):
+        mgr = PagedBlockManager(capacity_tokens=1024)
+        r = make_request()
+        mgr.admit(r)
+        mgr.free(r)
+        mgr.free(r)
+        assert mgr.free_token_slots == 1024 // 16 * 16
+
+    def test_admission_uses_prefill_target_after_preemption(self):
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=100, output_len=50)
+        mgr.admit(r)
+        r.record_prefill(100, now=0.0)
+        for t in range(30):
+            mgr.append_token(r)
+            r.record_decode(now=float(t))
+        mgr.free(r)
+        r.restart_after_preemption()
+        # Re-admission must reserve prompt + regenerated tokens.
+        assert r.prefill_target == 131
+        mgr.admit(r)
+        assert mgr.free_blocks == 64 - mgr.blocks_for(131)
+
+    def test_no_fragmentation_across_requests(self):
+        mgr = PagedBlockManager(capacity_tokens=160, block_size=16, watermark=0.0)
+        requests = [make_request(prompt_len=16) for _ in range(10)]
+        for r in requests:
+            mgr.admit(r)
+        assert mgr.free_blocks == 0
+        mgr.free(requests[3])
+        mgr.free(requests[7])
+        # Any new 2-block request fits in the scattered free blocks.
+        assert mgr.can_admit(make_request(prompt_len=32))
+
+
+class TestReservationManager:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            ReservationManager(capacity_tokens=0, reserve_len=10)
+        with pytest.raises(ValueError):
+            ReservationManager(capacity_tokens=10, reserve_len=0)
+
+    def test_reserves_worst_case_slot(self):
+        mgr = ReservationManager(capacity_tokens=4096, reserve_len=1024)
+        r = make_request(prompt_len=100, output_len=10)
+        mgr.admit(r)
+        assert mgr.free_token_slots == 4096 - 1024
+
+    def test_long_prompt_reserves_its_own_length(self):
+        mgr = ReservationManager(capacity_tokens=4096, reserve_len=1024)
+        r = make_request(prompt_len=2000, output_len=100)
+        mgr.admit(r)
+        assert mgr.free_token_slots == 4096 - 2100
+
+    def test_fewer_requests_fit_than_paged(self):
+        """The §5.1 effect: reservation caps effective batch size."""
+        capacity = 8192
+        paged = PagedBlockManager(capacity, block_size=16, watermark=0.0)
+        reserved = ReservationManager(capacity, reserve_len=2048)
+        paged_admits = reserved_admits = 0
+        for _ in range(100):
+            r = make_request(prompt_len=128, output_len=32)
+            if paged.can_admit(r):
+                paged.admit(r)
+                paged_admits += 1
+        for _ in range(100):
+            r = make_request(prompt_len=128, output_len=32)
+            if reserved.can_admit(r):
+                reserved.admit(r)
+                reserved_admits += 1
+        assert reserved_admits < paged_admits / 4
+
+    def test_decode_growth_prepaid(self):
+        mgr = ReservationManager(capacity_tokens=2048, reserve_len=1024)
+        r = make_request(prompt_len=100, output_len=500)
+        mgr.admit(r)
+        r.record_prefill(100, now=0.0)
+        for _ in range(400):
+            assert mgr.can_append_token(r)
+            mgr.append_token(r)
+
+    def test_append_without_admission_rejected(self):
+        mgr = ReservationManager(capacity_tokens=2048, reserve_len=1024)
+        r = make_request()
+        assert not mgr.can_append_token(r)
+        with pytest.raises(ValueError):
+            mgr.append_token(r)
+
+    def test_free_returns_full_reservation(self):
+        mgr = ReservationManager(capacity_tokens=2048, reserve_len=1024)
+        r = make_request()
+        mgr.admit(r)
+        mgr.free(r)
+        assert mgr.free_token_slots == 2048
+
+    def test_admit_over_capacity_raises(self):
+        mgr = ReservationManager(capacity_tokens=1000, reserve_len=600)
+        mgr.admit(make_request())
+        with pytest.raises(MemoryError):
+            mgr.admit(make_request())
+
+
+class TestKVTokenCapacity:
+    def test_mistral_on_a100_has_large_cache(self):
+        tokens = kv_token_capacity(MISTRAL_7B, A100_80G, ParallelConfig())
+        # ~57 GB free / 131 KB per token ≈ 450k tokens.
+        assert 200_000 < tokens < 800_000
+
+    def test_tp_increases_capacity(self):
+        tp1 = kv_token_capacity(YI_34B, A100_80G, ParallelConfig())
+        tp2 = kv_token_capacity(YI_34B, A100_80G, ParallelConfig(tensor_parallel=2))
+        assert tp2 > 2 * tp1  # weights halve too, freeing extra room
+
+    def test_model_too_big_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            kv_token_capacity(FALCON_180B, A40_48G, ParallelConfig())
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            kv_token_capacity(
+                MISTRAL_7B, A100_80G, ParallelConfig(), gpu_memory_utilization=1.5
+            )
+
+    def test_activation_reserve_reduces_capacity(self):
+        small = kv_token_capacity(
+            MISTRAL_7B, A100_80G, ParallelConfig(), activation_reserve_bytes=1 << 30
+        )
+        big = kv_token_capacity(
+            MISTRAL_7B, A100_80G, ParallelConfig(), activation_reserve_bytes=16 << 30
+        )
+        assert big < small

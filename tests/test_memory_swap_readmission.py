@@ -1,0 +1,65 @@
+"""Tests for swap re-admission sizing in the paged allocator."""
+
+from __future__ import annotations
+
+from repro.memory.block_manager import PagedBlockManager
+
+from tests.conftest import make_request
+
+
+class TestInitialBlocksSizing:
+    def test_fresh_request_uses_prefill_target(self):
+        mgr = PagedBlockManager(1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=100, output_len=50)
+        mgr.admit(r)
+        assert mgr._allocated[r.request_id] == mgr.blocks_for(100)
+
+    def test_swapped_request_readmits_full_context(self):
+        """A request swapped out mid-decode owns prompt + decoded KV;
+        re-admission must claim blocks for the whole context."""
+        mgr = PagedBlockManager(1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=100, output_len=50)
+        mgr.admit(r)
+        r.record_prefill(100, now=0.0)
+        for i in range(30):
+            mgr.append_token(r)
+            r.record_decode(now=float(i))
+        context = r.context_len
+        assert context == 130
+        blocks_held = mgr._allocated[r.request_id]
+        # Swap out (state preserved) and back in.
+        mgr.free(r)
+        mgr.admit(r)
+        assert mgr._allocated[r.request_id] == mgr.blocks_for(context)
+        assert mgr._allocated[r.request_id] == blocks_held
+
+    def test_can_admit_accounts_for_context(self):
+        mgr = PagedBlockManager(160, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=100, output_len=80)
+        mgr.admit(r)
+        r.record_prefill(100, now=0.0)
+        for i in range(58):
+            mgr.append_token(r)
+            r.record_decode(now=float(i))
+        mgr.free(r)
+        # Context is now 158 tokens -> 10 blocks -> exactly fits.
+        assert mgr.can_admit(r)
+        mgr.admit(r)
+        assert mgr.free_blocks == 0
+
+    def test_decode_growth_continues_after_readmission(self):
+        mgr = PagedBlockManager(1024, block_size=16, watermark=0.0)
+        r = make_request(prompt_len=100, output_len=40)
+        mgr.admit(r)
+        r.record_prefill(100, now=0.0)
+        for i in range(10):
+            mgr.append_token(r)
+            r.record_decode(now=float(i))
+        mgr.free(r)
+        mgr.admit(r)  # swap back in
+        # Growth resumes against the context-sized allocation.
+        for i in range(10, 39):
+            assert mgr.can_append_token(r)
+            mgr.append_token(r)
+            r.record_decode(now=float(i))
+        assert r.is_finished

@@ -1,0 +1,110 @@
+"""Tests for parallelism configuration and communication models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.catalog import ETHERNET_100G, NVLINK
+from repro.models.catalog import FALCON_180B, MISTRAL_7B, YI_34B
+from repro.parallel.comm import allreduce_bytes_per_layer, pp_send_time, tp_comm_time
+from repro.parallel.config import ParallelConfig
+
+
+class TestParallelConfig:
+    def test_defaults_single_gpu(self):
+        p = ParallelConfig()
+        assert p.world_size == 1
+        assert p.label == "TP1-PP1"
+
+    def test_world_size(self):
+        p = ParallelConfig(tensor_parallel=4, pipeline_parallel=2)
+        assert p.world_size == 8
+        assert p.label == "TP4-PP2"
+
+    @pytest.mark.parametrize("tp,pp", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid_degrees_rejected(self, tp, pp):
+        with pytest.raises(ValueError):
+            ParallelConfig(tensor_parallel=tp, pipeline_parallel=pp)
+
+    def test_layers_per_stage_even_split(self):
+        p = ParallelConfig(pipeline_parallel=2)
+        assert p.layers_per_stage(MISTRAL_7B) == 16
+
+    def test_layers_per_stage_ceil_split(self):
+        p = ParallelConfig(pipeline_parallel=3)
+        # 32 layers over 3 stages -> ceil = 11.
+        assert p.layers_per_stage(MISTRAL_7B) == 11
+
+    def test_stage_weight_bytes_shrink_with_tp(self):
+        tp1 = ParallelConfig().stage_weight_bytes_per_gpu(YI_34B)
+        tp2 = ParallelConfig(tensor_parallel=2).stage_weight_bytes_per_gpu(YI_34B)
+        assert tp2 == pytest.approx(tp1 / 2, rel=0.01)
+
+    def test_stage_weight_bytes_shrink_with_pp(self):
+        pp1 = ParallelConfig().stage_weight_bytes_per_gpu(YI_34B)
+        pp2 = ParallelConfig(pipeline_parallel=2).stage_weight_bytes_per_gpu(YI_34B)
+        assert pp2 < pp1
+
+    def test_kv_bytes_per_token_per_gpu(self):
+        p = ParallelConfig(tensor_parallel=2, pipeline_parallel=2)
+        expected = (
+            p.layers_per_stage(YI_34B) * YI_34B.kv_bytes_per_token_per_layer / 2
+        )
+        assert p.kv_bytes_per_token_per_gpu(YI_34B) == pytest.approx(expected)
+
+
+class TestTPComm:
+    def test_no_comm_for_single_gpu(self):
+        p = ParallelConfig()
+        assert tp_comm_time(YI_34B, p, 100, 60) == 0.0
+
+    def test_no_comm_for_empty_batch(self):
+        p = ParallelConfig(tensor_parallel=2)
+        assert tp_comm_time(YI_34B, p, 0, 60) == 0.0
+
+    def test_comm_scales_with_tokens(self):
+        p = ParallelConfig(tensor_parallel=4)
+        small = tp_comm_time(YI_34B, p, 10, 60)
+        large = tp_comm_time(YI_34B, p, 10000, 60)
+        assert large > small
+
+    def test_allreduce_bytes_per_layer(self):
+        assert allreduce_bytes_per_layer(YI_34B, 10) == 10 * 7168 * 2
+
+    def test_falcon_fused_block_halves_reduces(self):
+        p = ParallelConfig(tensor_parallel=4)
+        falcon = tp_comm_time(FALCON_180B, p, 128, 40)
+        # A hypothetical unfused version of the same geometry: just
+        # compare against doubling the fused result.
+        assert falcon > 0
+        per_reduce = p.tp_link.allreduce_time(
+            allreduce_bytes_per_layer(FALCON_180B, 128), 4
+        )
+        assert falcon == pytest.approx(40 * per_reduce)
+
+    def test_two_reduces_per_layer_default(self):
+        p = ParallelConfig(tensor_parallel=2)
+        per_reduce = p.tp_link.allreduce_time(allreduce_bytes_per_layer(YI_34B, 64), 2)
+        assert tp_comm_time(YI_34B, p, 64, 10) == pytest.approx(20 * per_reduce)
+
+    def test_ethernet_tp_far_slower(self):
+        fast = ParallelConfig(tensor_parallel=8, tp_link=NVLINK)
+        slow = ParallelConfig(tensor_parallel=8, tp_link=ETHERNET_100G)
+        assert tp_comm_time(FALCON_180B, slow, 32, 80) > 5 * tp_comm_time(
+            FALCON_180B, fast, 32, 80
+        )
+
+
+class TestPPSend:
+    def test_no_send_without_pipeline(self):
+        p = ParallelConfig(tensor_parallel=4)
+        assert pp_send_time(YI_34B, p, 100) == 0.0
+
+    def test_send_scales_with_tokens(self):
+        p = ParallelConfig(pipeline_parallel=2, pp_link=ETHERNET_100G)
+        assert pp_send_time(YI_34B, p, 2048) > pp_send_time(YI_34B, p, 16)
+
+    def test_send_matches_link_transfer(self):
+        p = ParallelConfig(pipeline_parallel=2, pp_link=ETHERNET_100G)
+        expected = ETHERNET_100G.transfer_time(128 * YI_34B.hidden_size * 2)
+        assert pp_send_time(YI_34B, p, 128) == pytest.approx(expected)

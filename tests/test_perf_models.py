@@ -1,0 +1,222 @@
+"""Tests for the linear, attention and iteration-level perf models.
+
+These encode the paper's §3.1 takeaways as executable assertions: the
+shapes (memory-bound decode, compute-bound prefill, hybrid slack) are
+what every downstream experiment relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.catalog import A100_80G
+from repro.models.catalog import MISTRAL_7B, YI_34B
+from repro.parallel.config import ParallelConfig
+from repro.perf.attention import AttentionModel
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.iteration import ExecutionModel
+from repro.perf.linear import LinearModel
+from repro.types import TokenWork
+
+
+@pytest.fixture
+def mistral_exec() -> ExecutionModel:
+    return ExecutionModel(MISTRAL_7B, A100_80G)
+
+
+@pytest.fixture
+def mistral_linear() -> LinearModel:
+    return LinearModel(MISTRAL_7B, A100_80G, ParallelConfig(), DEFAULT_CALIBRATION)
+
+
+@pytest.fixture
+def mistral_attention() -> AttentionModel:
+    return AttentionModel(MISTRAL_7B, A100_80G, ParallelConfig(), DEFAULT_CALIBRATION)
+
+
+class TestLinearModel:
+    def test_small_batches_memory_bound(self, mistral_linear):
+        assert mistral_linear.layer_cost(8).is_memory_bound
+        assert mistral_linear.layer_cost(32).is_memory_bound
+
+    def test_large_batches_compute_bound(self, mistral_linear):
+        assert not mistral_linear.layer_cost(4096).is_memory_bound
+
+    def test_flat_then_linear_shape(self, mistral_linear):
+        """Takeaway-2: time barely moves in the memory-bound regime."""
+        t16 = mistral_linear.layer_cost(16).time
+        t64 = mistral_linear.layer_cost(64).time
+        t2048 = mistral_linear.layer_cost(2048).time
+        t4096 = mistral_linear.layer_cost(4096).time
+        assert t64 < 1.5 * t16           # near-flat at small counts
+        assert t4096 > 1.7 * t2048       # ~linear at large counts
+
+    def test_tp_shrinks_layer_time(self):
+        tp1 = LinearModel(YI_34B, A100_80G, ParallelConfig(), DEFAULT_CALIBRATION)
+        tp2 = LinearModel(
+            YI_34B, A100_80G, ParallelConfig(tensor_parallel=2), DEFAULT_CALIBRATION
+        )
+        assert tp2.layer_cost(64).time < tp1.layer_cost(64).time
+
+    def test_stage_time_zero_for_empty(self, mistral_linear):
+        assert mistral_linear.stage_time(0) == 0.0
+
+    def test_lm_head_adds_time(self, mistral_linear):
+        without = mistral_linear.stage_time(128, num_logit_tokens=0)
+        with_head = mistral_linear.stage_time(128, num_logit_tokens=8)
+        assert with_head > without
+
+    def test_arithmetic_intensity_monotone(self, mistral_linear):
+        assert mistral_linear.arithmetic_intensity(8) < mistral_linear.arithmetic_intensity(512)
+
+    def test_weight_bytes_match_config(self, mistral_linear):
+        expected = MISTRAL_7B.params_per_layer * 2 * MISTRAL_7B.num_layers
+        assert mistral_linear.weight_bytes() == pytest.approx(expected)
+
+    def test_tile_quantization_spike(self):
+        """§4.3: chunk 257 costs measurably more math than chunk 256."""
+        calib = Calibration(model_tile_quantization=True)
+        linear = LinearModel(MISTRAL_7B, A100_80G, ParallelConfig(), calib)
+        t256 = linear.layer_cost(256).math_time
+        t257 = linear.layer_cost(257).math_time
+        assert t257 > 1.2 * t256
+
+    def test_tile_quantization_can_be_disabled(self):
+        calib = Calibration(model_tile_quantization=False)
+        linear = LinearModel(MISTRAL_7B, A100_80G, ParallelConfig(), calib)
+        t256 = linear.layer_cost(256).math_time
+        t257 = linear.layer_cost(257).math_time
+        assert t257 < 1.05 * t256
+
+
+class TestAttentionModel:
+    def test_decode_attention_scales_with_context(self, mistral_attention):
+        short = mistral_attention.work_time(TokenWork.decode(128))
+        long = mistral_attention.work_time(TokenWork.decode(4096))
+        assert long > short
+
+    def test_prefill_attention_superlinear_in_chunk(self, mistral_attention):
+        t512 = mistral_attention.work_time(TokenWork.prefill_chunk(512))
+        t2048 = mistral_attention.work_time(TokenWork.prefill_chunk(2048))
+        assert t2048 > 3.0 * t512
+
+    def test_later_chunk_costs_more_than_first(self, mistral_attention):
+        """Chunked-prefill KV re-reads (§4.3)."""
+        first = mistral_attention.work_time(TokenWork.prefill_chunk(512, past_len=0))
+        later = mistral_attention.work_time(
+            TokenWork.prefill_chunk(512, past_len=3584, is_last=False)
+        )
+        assert later > first
+
+    def test_kv_read_bytes_scale_with_past(self, mistral_attention):
+        a = mistral_attention.kv_read_bytes(TokenWork.prefill_chunk(256, past_len=256))
+        b = mistral_attention.kv_read_bytes(TokenWork.prefill_chunk(256, past_len=1024))
+        assert b == pytest.approx(4 * a)
+
+    def test_sliding_window_caps_decode_cost(self, mistral_attention):
+        at_window = mistral_attention.work_time(TokenWork.decode(4096))
+        beyond = mistral_attention.work_time(TokenWork.decode(7168))
+        assert beyond == pytest.approx(at_window)
+
+    def test_tp_shards_attention(self):
+        tp1 = AttentionModel(YI_34B, A100_80G, ParallelConfig(), DEFAULT_CALIBRATION)
+        tp2 = AttentionModel(
+            YI_34B, A100_80G, ParallelConfig(tensor_parallel=2), DEFAULT_CALIBRATION
+        )
+        work = TokenWork.prefill_chunk(2048)
+        assert tp2.work_time(work) < tp1.work_time(work)
+
+
+class TestExecutionModel:
+    def test_empty_batch_is_free(self, mistral_exec):
+        assert mistral_exec.iteration_time([]).total == 0.0
+
+    def test_prefill_saturates_decode_scales(self, mistral_exec):
+        """Takeaway-1 (Fig. 3)."""
+        pre1 = mistral_exec.iteration_time([TokenWork.prefill_chunk(1024)]).total
+        pre4 = mistral_exec.iteration_time(
+            [TokenWork.prefill_chunk(1024) for _ in range(4)]
+        ).total
+        prefill_scaling = (4 * 1024 / pre4) / (1024 / pre1)
+        assert prefill_scaling < 1.3  # throughput saturated at bs=1
+
+        dec1 = mistral_exec.decode_iteration_time(1, 1024).total
+        dec16 = mistral_exec.decode_iteration_time(16, 1024).total
+        decode_scaling = (16 / dec16) / (1 / dec1)
+        assert decode_scaling > 8  # near-linear throughput growth
+
+    def test_hybrid_piggyback_is_cheap(self, mistral_exec):
+        """Takeaway-2: decodes ride along with a prefill chunk almost free."""
+        chunk_only = mistral_exec.iteration_time([TokenWork.prefill_chunk(512)]).total
+        hybrid = mistral_exec.iteration_time(
+            [TokenWork.prefill_chunk(512)] + [TokenWork.decode(1024) for _ in range(16)]
+        ).total
+        assert hybrid < 1.5 * chunk_only
+
+    def test_full_prefill_grows_with_prompt(self, mistral_exec):
+        assert (
+            mistral_exec.full_prefill_time(4096).total
+            > 3 * mistral_exec.full_prefill_time(1024).total
+        )
+
+    def test_chunked_prefill_costs_more_total(self, mistral_exec):
+        full = mistral_exec.full_prefill_time(4096).total
+        chunked = mistral_exec.chunked_prefill_time(4096, 512).total
+        assert chunked > full
+
+    def test_chunk_overhead_shrinks_with_chunk_size(self, mistral_exec):
+        c512 = mistral_exec.chunked_prefill_time(8192, 512).total
+        c2048 = mistral_exec.chunked_prefill_time(8192, 2048).total
+        assert c2048 < c512
+
+    def test_chunked_prefill_rejects_bad_chunk(self, mistral_exec):
+        with pytest.raises(ValueError):
+            mistral_exec.chunked_prefill_time(1024, 0)
+
+    def test_breakdown_components_nonnegative(self, mistral_exec):
+        t = mistral_exec.iteration_time(
+            [TokenWork.prefill_chunk(256), TokenWork.decode(100)]
+        )
+        assert t.linear > 0
+        assert t.attention > 0
+        assert t.others > 0
+        assert t.overhead > 0
+        assert t.communication == 0.0  # TP1
+
+    def test_linear_dominates_runtime(self, mistral_exec):
+        """Fig. 4: linear operators are the majority of iteration time."""
+        t = mistral_exec.full_prefill_time(2048)
+        assert t.linear > 0.5 * t.total
+
+    def test_tp_comm_appears(self):
+        exec_tp2 = ExecutionModel(
+            YI_34B, A100_80G, ParallelConfig(tensor_parallel=2)
+        )
+        t = exec_tp2.iteration_time([TokenWork.prefill_chunk(512)])
+        assert t.communication > 0
+
+    def test_pipeline_stage_symmetry(self):
+        exec_pp2 = ExecutionModel(
+            YI_34B, A100_80G, ParallelConfig(pipeline_parallel=2)
+        )
+        works = [TokenWork.prefill_chunk(512)]
+        first = exec_pp2.stage_iteration_time(works, is_first_stage=True, is_last_stage=False)
+        last = exec_pp2.stage_iteration_time(works, is_first_stage=False, is_last_stage=True)
+        # First stage pays scheduler overhead; last pays the LM head.
+        assert first.overhead > last.overhead
+        assert last.linear > first.linear
+
+    def test_pipeline_send_time(self):
+        exec_pp2 = ExecutionModel(
+            YI_34B, A100_80G, ParallelConfig(pipeline_parallel=2)
+        )
+        works = [TokenWork.prefill_chunk(2048)]
+        assert exec_pp2.pipeline_send_time(works) > 0
+        exec_pp1 = ExecutionModel(YI_34B, A100_80G)
+        assert exec_pp1.pipeline_send_time(works) == 0.0
+
+    def test_per_replica_gpus(self):
+        exec_model = ExecutionModel(
+            YI_34B, A100_80G, ParallelConfig(tensor_parallel=4, pipeline_parallel=2)
+        )
+        assert exec_model.per_replica_gpus() == 8

@@ -1,0 +1,94 @@
+"""Tests for the token-budget profiler (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.catalog import A100_80G
+from repro.models.catalog import MISTRAL_7B, YI_34B
+from repro.parallel.config import ParallelConfig
+from repro.perf.iteration import ExecutionModel
+from repro.perf.profiler import (
+    RELAXED_SLO_MULTIPLIER,
+    STRICT_SLO_MULTIPLIER,
+    compute_token_budget,
+    default_budget_candidates,
+    derive_slo,
+    hybrid_iteration_time,
+    profile_token_budgets,
+    reference_decode_time,
+)
+
+
+@pytest.fixture
+def mistral_exec():
+    return ExecutionModel(MISTRAL_7B, A100_80G)
+
+
+class TestSLODerivation:
+    def test_multipliers(self, mistral_exec):
+        ref = reference_decode_time(mistral_exec)
+        assert derive_slo(mistral_exec, strict=True) == pytest.approx(
+            STRICT_SLO_MULTIPLIER * ref
+        )
+        assert derive_slo(mistral_exec, strict=False) == pytest.approx(
+            RELAXED_SLO_MULTIPLIER * ref
+        )
+
+    def test_reference_decode_positive(self, mistral_exec):
+        assert reference_decode_time(mistral_exec) > 0
+
+    def test_slo_lands_near_paper_table3(self):
+        """Derived SLOs should be within ~2x of the published values."""
+        mistral = ExecutionModel(MISTRAL_7B, A100_80G)
+        yi = ExecutionModel(YI_34B, A100_80G, ParallelConfig(tensor_parallel=2))
+        assert 0.05 < derive_slo(mistral, strict=True) < 0.2     # paper: 0.1
+        assert 0.1 < derive_slo(yi, strict=True) < 0.4           # paper: 0.2
+
+
+class TestHybridIterationTime:
+    def test_grows_with_budget(self, mistral_exec):
+        small = hybrid_iteration_time(mistral_exec, 256)
+        large = hybrid_iteration_time(mistral_exec, 4096)
+        assert large > small
+
+    def test_decode_only_when_budget_fits_decodes(self, mistral_exec):
+        time = hybrid_iteration_time(mistral_exec, 32, decode_batch_size=32)
+        decode_only = mistral_exec.decode_iteration_time(32, 4096).total
+        assert time == pytest.approx(decode_only)
+
+
+class TestBudgetProfiles:
+    def test_profiles_flag_slo_violations(self, mistral_exec):
+        slo = derive_slo(mistral_exec, strict=True)
+        profiles = profile_token_budgets(mistral_exec, slo)
+        assert any(p.meets_slo for p in profiles)
+        assert any(not p.meets_slo for p in profiles)
+        # Iteration time increases monotonically with the budget.
+        times = [p.iteration_time for p in profiles]
+        assert times == sorted(times)
+
+    def test_candidates_tile_aligned(self, mistral_exec):
+        for candidate in default_budget_candidates(mistral_exec):
+            assert candidate % mistral_exec.gpu.matmul_tile == 0
+
+
+class TestComputeTokenBudget:
+    def test_strict_budget_smaller_than_relaxed(self, mistral_exec):
+        strict = compute_token_budget(mistral_exec, derive_slo(mistral_exec, True))
+        relaxed = compute_token_budget(mistral_exec, derive_slo(mistral_exec, False))
+        assert strict < relaxed
+
+    def test_budget_meets_its_slo(self, mistral_exec):
+        slo = derive_slo(mistral_exec, strict=True)
+        budget = compute_token_budget(mistral_exec, slo)
+        assert hybrid_iteration_time(mistral_exec, budget) <= slo
+
+    def test_fallback_to_min_budget(self, mistral_exec):
+        budget = compute_token_budget(mistral_exec, tbt_slo=1e-9, min_budget=128)
+        assert budget == 128
+
+    def test_explicit_candidates(self, mistral_exec):
+        slo = derive_slo(mistral_exec, strict=False)
+        budget = compute_token_budget(mistral_exec, slo, candidates=[256, 512])
+        assert budget == 512

@@ -1,0 +1,70 @@
+"""Tests for the scheduler-comparison reporting module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import ComparisonRow, compare_schedulers, render_markdown
+from repro.types import SchedulerKind
+
+from tests.conftest import make_request
+
+
+@pytest.fixture(scope="module")
+def rows(request):
+    from repro.api import Deployment
+    from repro.hardware.catalog import A100_80G
+    from repro.models.catalog import TINY_1B
+
+    deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+    trace = [
+        make_request(prompt_len=400, output_len=10, arrival_time=0.05 * i)
+        for i in range(16)
+    ]
+    return compare_schedulers(
+        deployment,
+        trace,
+        schedulers=(SchedulerKind.VLLM, SchedulerKind.SARATHI),
+        token_budget=256,
+    )
+
+
+class TestCompareSchedulers:
+    def test_row_per_scheduler(self, rows):
+        assert [r.scheduler for r in rows] == ["vllm", "sarathi"]
+
+    def test_metrics_populated(self, rows):
+        for row in rows:
+            assert row.median_ttft > 0
+            assert row.p99_tbt > 0
+            assert row.throughput_tokens_per_s > 0
+
+    def test_sarathi_has_smaller_stalls(self, rows):
+        by_name = {r.scheduler: r for r in rows}
+        assert by_name["sarathi"].worst_stall <= by_name["vllm"].worst_stall
+
+    def test_empty_trace_rejected(self):
+        from repro.api import Deployment
+        from repro.hardware.catalog import A100_80G
+        from repro.models.catalog import TINY_1B
+
+        with pytest.raises(ValueError):
+            compare_schedulers(Deployment(model=TINY_1B, gpu=A100_80G), [])
+
+
+class TestRenderMarkdown:
+    def test_table_structure(self, rows):
+        text = render_markdown(rows, title="test run")
+        lines = text.splitlines()
+        assert lines[0] == "### test run"
+        assert lines[2].startswith("| scheduler |")
+        # Header row plus one row per scheduler (separator starts "|--").
+        assert len([l for l in lines if l.startswith("| ")]) == 1 + len(rows)
+
+    def test_no_title(self, rows):
+        text = render_markdown(rows)
+        assert not text.startswith("###")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown([])

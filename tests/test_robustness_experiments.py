@@ -1,0 +1,49 @@
+"""Shape tests for the burstiness / preemption-policy experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.common import Scale
+from repro.experiments.robustness import (
+    run_burstiness_sweep,
+    run_preemption_policy_comparison,
+)
+
+TINY = Scale(num_requests=28, capacity_rel_tol=0.5, capacity_max_probes=5)
+
+
+class TestBurstinessSweep:
+    def test_grid_complete(self):
+        points = run_burstiness_sweep(TINY, cvs=(1.0, 3.0))
+        assert len(points) == 4
+        assert {p.scheduler for p in points} == {"vllm", "sarathi"}
+
+    def test_sarathi_bound_burst_independent(self):
+        points = run_burstiness_sweep(TINY, cvs=(0.5, 4.0))
+        sarathi = [p for p in points if p.scheduler == "sarathi"]
+        assert max(p.max_tbt for p in sarathi) < 2 * min(p.max_tbt for p in sarathi)
+
+    def test_vllm_tail_grows_with_bursts(self):
+        points = run_burstiness_sweep(TINY, cvs=(0.5, 4.0))
+        vllm = {p.cv: p for p in points if p.scheduler == "vllm"}
+        # At smoke scale the P99 is the more stable burst signal; the
+        # bench asserts the max-TBT growth at full scale.
+        assert vllm[4.0].p99_tbt > 2 * vllm[0.5].p99_tbt
+        assert vllm[4.0].max_tbt > 1.2 * vllm[0.5].max_tbt
+
+
+class TestPreemptionPolicyComparison:
+    def test_both_policies_reported(self):
+        points = run_preemption_policy_comparison(TINY, kv_capacity_tokens=12288)
+        assert [p.policy for p in points] == ["recompute", "swap"]
+
+    def test_swap_redoes_less_prefill(self):
+        points = {
+            p.policy: p
+            for p in run_preemption_policy_comparison(TINY, kv_capacity_tokens=12288)
+        }
+        assert points["recompute"].num_preemptions > 0
+        assert points["swap"].num_swap_outs > 0
+        assert (
+            points["swap"].redone_prefill_tokens
+            <= points["recompute"].redone_prefill_tokens
+        )

@@ -1,0 +1,110 @@
+"""Tests for the roofline primitives and calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.catalog import A100_80G
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perf.roofline import arithmetic_intensity, op_time, tile_quantized
+
+
+class TestOpTime:
+    def test_memory_bound_operator(self):
+        cost = op_time(A100_80G, flops=1e9, num_bytes=1e9, compute_efficiency=1.0, memory_efficiency=1.0)
+        assert cost.is_memory_bound
+        assert cost.time == pytest.approx(cost.mem_time)
+
+    def test_compute_bound_operator(self):
+        cost = op_time(A100_80G, flops=1e15, num_bytes=1e6, compute_efficiency=1.0, memory_efficiency=1.0)
+        assert not cost.is_memory_bound
+        assert cost.time == pytest.approx(cost.math_time)
+
+    def test_efficiency_scales_times(self):
+        full = op_time(A100_80G, 1e12, 1e9, 1.0, 1.0)
+        half = op_time(A100_80G, 1e12, 1e9, 0.5, 1.0)
+        assert half.math_time == pytest.approx(2 * full.math_time)
+
+    def test_ramped_efficiency_ignored_when_memory_bound(self):
+        # Deeply memory-bound op: under-utilized math hides under memory.
+        plain = op_time(A100_80G, 1e9, 1e10, 0.6, 0.8)
+        ramped = op_time(A100_80G, 1e9, 1e10, 0.6, 0.8, ramped_compute_efficiency=0.06)
+        assert ramped.time == pytest.approx(plain.time, rel=0.05)
+
+    def test_ramped_efficiency_binds_when_compute_bound(self):
+        plain = op_time(A100_80G, 1e14, 1e6, 0.6, 0.8)
+        ramped = op_time(A100_80G, 1e14, 1e6, 0.6, 0.8, ramped_compute_efficiency=0.3)
+        assert ramped.time == pytest.approx(2 * plain.time, rel=0.01)
+
+    def test_blend_is_monotone_between_extremes(self):
+        ramped = op_time(A100_80G, 1e12, 1e9, 0.6, 0.8, ramped_compute_efficiency=0.3)
+        lo = op_time(A100_80G, 1e12, 1e9, 0.6, 0.8)
+        hi = op_time(A100_80G, 1e12, 1e9, 0.3, 0.8)
+        assert lo.time <= ramped.time <= hi.time
+
+
+class TestTileQuantization:
+    def test_exact_multiple_unchanged(self):
+        assert tile_quantized(256, 128) == 256
+
+    def test_partial_tile_rounds_up(self):
+        assert tile_quantized(257, 128) == 384
+
+    def test_zero_tokens(self):
+        assert tile_quantized(0, 128) == 0
+
+    def test_skinny_gemm_not_padded_to_full_tile(self):
+        # A 32-row GEMM uses a smaller tile shape, not a 128 pad.
+        assert tile_quantized(32, 128) == 32
+        assert tile_quantized(20, 128) == 32
+
+    def test_mid_sizes(self):
+        assert tile_quantized(100, 128) == 128
+        assert tile_quantized(129, 128) == 256
+
+
+class TestArithmeticIntensity:
+    def test_basic_ratio(self):
+        assert arithmetic_intensity(1000.0, 10.0) == pytest.approx(100.0)
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(1.0, 0.0)
+
+
+class TestCalibration:
+    def test_default_is_valid(self):
+        assert 0 < DEFAULT_CALIBRATION.matmul_efficiency <= 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("matmul_efficiency", 0.0),
+            ("matmul_efficiency", 1.5),
+            ("memory_efficiency", -0.1),
+            ("kernel_launch_overhead", -1e-6),
+            ("iteration_overhead", -1.0),
+            ("gemm_efficiency_knee", -5.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Calibration(**{field: value})
+
+    def test_gemm_efficiency_ramps_up(self):
+        calib = DEFAULT_CALIBRATION
+        assert calib.gemm_efficiency(64) < calib.gemm_efficiency(512)
+        assert calib.gemm_efficiency(512) < calib.gemm_efficiency(16384)
+
+    def test_gemm_efficiency_saturates_at_asymptote(self):
+        calib = DEFAULT_CALIBRATION
+        assert calib.gemm_efficiency(10**9) == pytest.approx(
+            calib.matmul_efficiency, rel=1e-3
+        )
+
+    def test_gemm_efficiency_nonpositive_tokens(self):
+        assert DEFAULT_CALIBRATION.gemm_efficiency(0) == DEFAULT_CALIBRATION.matmul_efficiency
+
+    def test_zero_knee_means_no_ramp(self):
+        calib = Calibration(gemm_efficiency_knee=0.0)
+        assert calib.gemm_efficiency(1) == calib.matmul_efficiency

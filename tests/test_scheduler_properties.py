@@ -1,0 +1,157 @@
+"""Property-based tests on scheduler policies under random workloads.
+
+Complements ``test_properties.py`` (which covers Sarathi): the same
+conservation and safety laws must hold for every baseline policy,
+for the fairness variant, and for the disaggregated engine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import FairSarathiScheduler
+from repro.memory.block_manager import PagedBlockManager, ReservationManager
+from repro.scheduling.faster_transformer import FasterTransformerScheduler
+from repro.scheduling.orca import OrcaScheduler
+from repro.scheduling.vllm import VLLMScheduler
+from repro.types import Request
+
+request_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=500),   # prompt
+        st.integers(min_value=1, max_value=15),    # output
+        st.integers(min_value=0, max_value=3),     # client
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def drive(scheduler, requests, max_iters=30_000):
+    """Run schedule/complete rounds to completion; return batches."""
+    for r in requests:
+        scheduler.add_request(r, now=0.0)
+    now = 0.0
+    batches = []
+    for _ in range(max_iters):
+        batch = scheduler.schedule(now)
+        if batch is None:
+            if not scheduler.has_work:
+                return batches
+            now += 0.01
+            continue
+        batches.append(batch)
+        now += 0.01
+        scheduler.on_batch_complete(batch, now)
+    raise AssertionError("scheduler did not converge")
+
+
+def check_conservation(requests):
+    for r in requests:
+        assert r.is_finished
+        assert r.num_emitted == r.output_len
+        assert len(r.token_times) == r.output_len
+        assert r.token_times == sorted(r.token_times)
+
+
+@given(specs=request_specs)
+@settings(max_examples=30, deadline=None)
+def test_vllm_random_workloads_complete(specs):
+    scheduler = VLLMScheduler(PagedBlockManager(65536, watermark=0.0))
+    requests = [Request(prompt_len=p, output_len=o) for p, o, _ in specs]
+    batches = drive(scheduler, requests)
+    check_conservation(requests)
+    # Algorithm 2 invariant: batches are never hybrid.
+    assert not any(b.is_hybrid for b in batches)
+    # All memory returned.
+    assert scheduler.memory.free_blocks == scheduler.memory.num_blocks
+
+
+@given(specs=request_specs)
+@settings(max_examples=30, deadline=None)
+def test_orca_random_workloads_complete(specs):
+    scheduler = OrcaScheduler(ReservationManager(65536, reserve_len=1024))
+    requests = [Request(prompt_len=p, output_len=o) for p, o, _ in specs]
+    batches = drive(scheduler, requests)
+    check_conservation(requests)
+    # Orca never chunks: every prefill work covers a whole prompt.
+    for batch in batches:
+        for item in batch.items:
+            if item.work.is_prefill:
+                assert item.work.emits_token
+    assert scheduler.memory.free_token_slots == 65536
+
+
+@given(specs=request_specs)
+@settings(max_examples=30, deadline=None)
+def test_faster_transformer_random_workloads_complete(specs):
+    scheduler = FasterTransformerScheduler(
+        ReservationManager(65536, reserve_len=1024), max_batch_size=4
+    )
+    requests = [Request(prompt_len=p, output_len=o) for p, o, _ in specs]
+    batches = drive(scheduler, requests)
+    check_conservation(requests)
+    # Request-level batching: no batch mixes prefills and decodes.
+    assert not any(b.is_hybrid for b in batches)
+
+
+@given(specs=request_specs, budget=st.sampled_from([64, 256]))
+@settings(max_examples=30, deadline=None)
+def test_fair_sarathi_random_workloads_complete(specs, budget):
+    scheduler = FairSarathiScheduler(
+        PagedBlockManager(65536, watermark=0.0), token_budget=budget
+    )
+    requests = [
+        Request(prompt_len=p, output_len=o, client_id=c) for p, o, c in specs
+    ]
+    batches = drive(scheduler, requests)
+    check_conservation(requests)
+    for batch in batches:
+        assert batch.num_tokens <= budget
+    # Service counters account for every token scheduled.
+    assert sum(scheduler.service_counters.values()) == sum(
+        b.num_tokens for b in batches
+    )
+
+
+@given(specs=request_specs)
+@settings(max_examples=20, deadline=None)
+def test_vllm_swap_mode_random_workloads_complete(specs):
+    scheduler = VLLMScheduler(
+        PagedBlockManager(4096, watermark=0.0),
+        preemption_mode="swap",
+        kv_bytes_per_token=256,
+    )
+    requests = [Request(prompt_len=p, output_len=o) for p, o, _ in specs]
+    drive(scheduler, requests)
+    check_conservation(requests)
+    # Swap bookkeeping balances: everything parked came back.
+    assert not scheduler.swapped
+    assert scheduler.num_swap_ins == scheduler.num_swap_outs
+    assert scheduler.memory.free_blocks == scheduler.memory.num_blocks
+
+
+@given(specs=request_specs)
+@settings(max_examples=15, deadline=None)
+def test_disaggregated_engine_random_workloads_complete(specs):
+    from repro.api import Deployment
+    from repro.disagg.engine import DisaggregatedEngine
+    from repro.hardware.catalog import A100_80G, NVLINK
+    from repro.models.catalog import TINY_1B
+
+    deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+    engine = DisaggregatedEngine(
+        deployment.execution_model(),
+        num_prefill_replicas=1,
+        num_decode_replicas=1,
+        migration_link=NVLINK,
+        decode_kv_capacity=deployment.kv_capacity_tokens(),
+    )
+    requests = [Request(prompt_len=p, output_len=o) for p, o, _ in specs]
+    result = engine.run(requests)
+    check_conservation(requests)
+    # One migration per request that decodes at least once.
+    expected = sum(1 for r in requests if r.output_len > 1)
+    assert engine.num_migrations == expected
+    assert not result.unfinished

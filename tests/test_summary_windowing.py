@@ -1,0 +1,80 @@
+"""Regression tests for TBT measurement windowing in ``summarize``.
+
+A finite trace's drain phase can flatter prefill-prioritizing
+schedulers (the backlog degenerates into one big prefill burst followed
+by stall-free decodes).  ``summarize`` therefore takes TBT samples only
+from tokens emitted while load was still arriving.  These tests pin
+that behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.replica import SimulationResult
+from repro.metrics.summary import summarize
+from repro.types import Request
+
+
+def _request_with_tokens(arrival: float, times: list[float], prompt=10) -> Request:
+    r = Request(prompt_len=prompt, output_len=len(times), arrival_time=arrival)
+    r.first_scheduled_at = arrival
+    r.record_prefill(prompt, now=times[0])
+    for t in times[1:]:
+        r.record_decode(now=t)
+    return r
+
+
+def _result(requests: list[Request]) -> SimulationResult:
+    return SimulationResult(
+        requests=requests,
+        records=[],
+        makespan=max(r.finished_at for r in requests),
+        num_stages=1,
+    )
+
+
+class TestWindowing:
+    def test_drain_phase_gaps_excluded(self):
+        # Load window ends at t=10 (last arrival).  One in-window stall
+        # (t=1 -> t=5) and one huge post-window gap (t=9 -> t=100).
+        a = _request_with_tokens(0.0, [1.0, 5.0, 9.0, 100.0])
+        b = Request(prompt_len=5, output_len=1, arrival_time=10.0)
+        b.first_scheduled_at = 10.0
+        b.record_prefill(5, now=11.0)
+        metrics = summarize(_result([a, b]))
+        # max in-window TBT is 4.0 (1->5); the 91-second drain gap is out.
+        assert metrics.max_tbt == pytest.approx(4.0)
+
+    def test_closed_loop_keeps_all_samples(self):
+        # Every request arrives at t=0: no window, all samples count.
+        a = _request_with_tokens(0.0, [1.0, 5.0, 9.0, 100.0])
+        metrics = summarize(_result([a]))
+        assert metrics.max_tbt == pytest.approx(91.0)
+
+    def test_empty_window_falls_back_to_all(self):
+        # Tokens all emitted after the last arrival: fallback keeps them.
+        a = _request_with_tokens(0.0, [20.0, 21.0, 25.0])
+        b = _request_with_tokens(10.0, [30.0, 32.0])
+        metrics = summarize(_result([a, b]))
+        assert metrics.max_tbt == pytest.approx(4.0)
+
+    def test_single_token_outputs_yield_zero_tbt(self):
+        a = _request_with_tokens(0.0, [1.0])
+        metrics = summarize(_result([a]))
+        assert metrics.p99_tbt == 0.0
+        assert metrics.max_tbt == 0.0
+
+    def test_no_finished_requests_rejected(self):
+        r = Request(prompt_len=10, output_len=2, arrival_time=0.0)
+        with pytest.raises(ValueError):
+            summarize(
+                SimulationResult(requests=[r], records=[], makespan=0.0, num_stages=1)
+            )
+
+    def test_ttft_not_windowed(self):
+        # TTFT is once-per-request and always counted, even post-window.
+        a = _request_with_tokens(0.0, [50.0, 51.0])
+        b = _request_with_tokens(1.0, [2.0, 3.0])
+        metrics = summarize(_result([a, b]))
+        assert metrics.p99_ttft == pytest.approx(50.0, rel=0.02)

@@ -1,0 +1,73 @@
+"""Tests for MFU/MBU accounting (Fig. 5's utilization claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ServingConfig, build_engine
+from repro.metrics.utilization import batch_utilization, run_utilization
+from repro.types import TokenWork
+
+from tests.conftest import make_request
+
+
+class TestBatchUtilization:
+    def test_empty_batch(self, tiny_deployment):
+        util = batch_utilization(tiny_deployment.execution_model(), [])
+        assert util.mfu == 0.0 and util.mbu == 0.0
+
+    def test_bounds(self, tiny_deployment):
+        exec_model = tiny_deployment.execution_model()
+        for works in (
+            [TokenWork.decode(512)],
+            [TokenWork.prefill_chunk(2048)],
+            [TokenWork.decode(512), TokenWork.prefill_chunk(480)],
+        ):
+            util = batch_utilization(exec_model, works)
+            assert 0.0 < util.mfu <= 1.0
+            assert 0.0 < util.mbu <= 1.0
+
+    def test_decode_wastes_compute(self, tiny_deployment):
+        exec_model = tiny_deployment.execution_model()
+        decode = batch_utilization(
+            exec_model, [TokenWork.decode(1024) for _ in range(32)]
+        )
+        assert decode.mbu > 3 * decode.mfu
+
+    def test_prefill_wastes_bandwidth(self, tiny_deployment):
+        exec_model = tiny_deployment.execution_model()
+        prefill = batch_utilization(exec_model, [TokenWork.prefill_chunk(4096)])
+        assert prefill.mfu > 3 * prefill.mbu
+
+    def test_hybrid_balances(self, tiny_deployment):
+        """Fig. 5: coalescing pushes min(MFU, MBU) up."""
+        exec_model = tiny_deployment.execution_model()
+        decodes = [TokenWork.decode(1024) for _ in range(32)]
+        decode_only = batch_utilization(exec_model, decodes)
+        prefill_only = batch_utilization(exec_model, [TokenWork.prefill_chunk(2048)])
+        hybrid = batch_utilization(
+            exec_model, decodes + [TokenWork.prefill_chunk(480, past_len=512, is_last=False)]
+        )
+        assert hybrid.balance > decode_only.balance
+        assert hybrid.balance > prefill_only.balance
+
+
+class TestRunUtilization:
+    def test_run_level_aggregation(self, tiny_deployment):
+        trace = [
+            make_request(prompt_len=300, output_len=10, arrival_time=0.02 * i)
+            for i in range(12)
+        ]
+        engine = build_engine(tiny_deployment, ServingConfig(token_budget=256))
+        result = engine.run(trace)
+        util = run_utilization(tiny_deployment.execution_model(), result)
+        assert 0.0 < util.mean_mfu <= 1.0
+        assert 0.0 < util.mean_mbu <= 1.0
+        assert util.mean_balance <= min(util.mean_mfu, util.mean_mbu) + 1e-9
+
+    def test_empty_records(self, tiny_deployment):
+        from repro.engine.replica import SimulationResult
+
+        result = SimulationResult(requests=[], records=[], makespan=0.0, num_stages=1)
+        util = run_utilization(tiny_deployment.execution_model(), result)
+        assert util.mean_mfu == 0.0

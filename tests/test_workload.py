@@ -1,0 +1,165 @@
+"""Tests for workload synthesis: distributions, arrivals, datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.arrival import (
+    GammaArrivals,
+    PoissonArrivals,
+    StaticArrivals,
+    UniformArrivals,
+)
+from repro.workload.datasets import (
+    ARXIV_SUMMARIZATION,
+    SHAREGPT4,
+    generate_requests,
+    get_dataset,
+)
+from repro.workload.distributions import (
+    FixedLengths,
+    LogNormalLengths,
+    UniformLengths,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLogNormalLengths:
+    def test_fit_recovers_median_and_p90(self, rng):
+        dist = LogNormalLengths(median=1730, p90=5696)
+        samples = dist.sample_many(rng, 20_000)
+        assert np.median(samples) == pytest.approx(1730, rel=0.05)
+        assert np.percentile(samples, 90) == pytest.approx(5696, rel=0.08)
+
+    def test_bounds_respected(self, rng):
+        dist = LogNormalLengths(median=100, p90=400, min_len=50, max_len=500)
+        samples = dist.sample_many(rng, 2000)
+        assert min(samples) >= 50
+        assert max(samples) <= 500
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalLengths(median=0, p90=10)
+        with pytest.raises(ValueError):
+            LogNormalLengths(median=100, p90=50)
+        with pytest.raises(ValueError):
+            LogNormalLengths(median=10, p90=20, min_len=0)
+        with pytest.raises(ValueError):
+            LogNormalLengths(median=10, p90=20, min_len=5, max_len=4)
+
+    def test_samples_are_positive_ints(self, rng):
+        dist = LogNormalLengths(median=10, p90=40)
+        for _ in range(100):
+            s = dist.sample(rng)
+            assert isinstance(s, int) and s >= 1
+
+
+class TestSimpleDistributions:
+    def test_fixed(self, rng):
+        assert FixedLengths(7).sample(rng) == 7
+        with pytest.raises(ValueError):
+            FixedLengths(0)
+
+    def test_uniform(self, rng):
+        dist = UniformLengths(10, 20)
+        samples = dist.sample_many(rng, 500)
+        assert min(samples) >= 10 and max(samples) <= 20
+        assert len(set(samples)) > 5
+        with pytest.raises(ValueError):
+            UniformLengths(20, 10)
+
+
+class TestArrivals:
+    def test_poisson_rate(self, rng):
+        times = PoissonArrivals(qps=10.0).arrival_times(rng, 5000)
+        assert times[-1] == pytest.approx(500, rel=0.1)
+        assert times == sorted(times)
+
+    def test_gamma_cv1_matches_poisson_rate(self, rng):
+        times = GammaArrivals(qps=10.0, cv=1.0).arrival_times(rng, 5000)
+        assert times[-1] == pytest.approx(500, rel=0.1)
+
+    def test_gamma_burstiness(self, rng):
+        bursty = GammaArrivals(qps=10.0, cv=3.0).arrival_times(rng, 5000)
+        smooth = GammaArrivals(qps=10.0, cv=0.3).arrival_times(rng, 5000)
+        bursty_gaps = np.diff([0] + bursty)
+        smooth_gaps = np.diff([0] + smooth)
+        assert np.std(bursty_gaps) > 5 * np.std(smooth_gaps)
+
+    def test_uniform_spacing(self, rng):
+        times = UniformArrivals(qps=4.0).arrival_times(rng, 4)
+        assert times == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_static_all_zero(self, rng):
+        assert StaticArrivals().arrival_times(rng, 3) == [0.0, 0.0, 0.0]
+
+    @pytest.mark.parametrize("cls", [PoissonArrivals, UniformArrivals])
+    def test_invalid_qps_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(qps=0)
+
+    def test_invalid_gamma_cv_rejected(self):
+        with pytest.raises(ValueError):
+            GammaArrivals(qps=1, cv=0)
+
+
+class TestDatasets:
+    def test_lookup(self):
+        assert get_dataset("openchat_sharegpt4") is SHAREGPT4
+        assert get_dataset("ARXIV_SUMMARIZATION") is ARXIV_SUMMARIZATION
+        with pytest.raises(KeyError):
+            get_dataset("c4")
+
+    def test_table2_statistics_sharegpt(self):
+        """Prompt/output medians should match Table 2 within tolerance."""
+        requests = generate_requests(SHAREGPT4, num_requests=5000, seed=7)
+        prompts = [r.prompt_len for r in requests]
+        outputs = [r.output_len for r in requests]
+        # Filtering trims the upper tail, so medians land slightly low.
+        assert np.median(prompts) == pytest.approx(1730, rel=0.15)
+        assert np.median(outputs) == pytest.approx(415, rel=0.15)
+
+    def test_table2_statistics_arxiv(self):
+        requests = generate_requests(ARXIV_SUMMARIZATION, num_requests=5000, seed=7)
+        prompts = [r.prompt_len for r in requests]
+        outputs = [r.output_len for r in requests]
+        assert np.median(prompts) == pytest.approx(7059, rel=0.15)
+        assert np.median(outputs) == pytest.approx(208, rel=0.15)
+        # Arxiv prompts are much longer than sharegpt's.
+        assert np.median(prompts) > 3 * 1730
+
+    def test_total_length_cap_enforced(self):
+        for dataset in (SHAREGPT4, ARXIV_SUMMARIZATION):
+            requests = generate_requests(dataset, num_requests=2000, seed=3)
+            assert all(r.total_len <= dataset.max_total_len for r in requests)
+
+    def test_seed_reproducibility(self):
+        a = generate_requests(SHAREGPT4, num_requests=50, qps=1.0, seed=11)
+        b = generate_requests(SHAREGPT4, num_requests=50, qps=1.0, seed=11)
+        assert [(r.prompt_len, r.output_len, r.arrival_time) for r in a] == [
+            (r.prompt_len, r.output_len, r.arrival_time) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_requests(SHAREGPT4, num_requests=50, qps=1.0, seed=1)
+        b = generate_requests(SHAREGPT4, num_requests=50, qps=1.0, seed=2)
+        assert [r.prompt_len for r in a] != [r.prompt_len for r in b]
+
+    def test_qps_and_arrivals_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            generate_requests(
+                SHAREGPT4, num_requests=10, qps=1.0, arrivals=StaticArrivals()
+            )
+
+    def test_default_is_closed_loop(self):
+        requests = generate_requests(SHAREGPT4, num_requests=10, seed=0)
+        assert all(r.arrival_time == 0.0 for r in requests)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_requests(SHAREGPT4, num_requests=0)
