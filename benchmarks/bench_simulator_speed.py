@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the memoized execution model.
+
+Times two fixed-seed workloads on the uncached and cached execution
+models (``repro.perf.cache``), verifies the outputs stayed
+bit-identical, and writes the speedups plus hit rates to
+``BENCH_simulator.json`` at the repo root so future PRs have a perf
+trajectory to compare against.
+
+Cases:
+
+* **capacity_sweep_dynamic** — a capacity search with the
+  SLO-driven dynamic scheduler, whose per-iteration budget bisection
+  prices many candidate batches through the execution model; the
+  memoized model is the difference between minutes and seconds here.
+* **hybrid_batch_fig09** — a Fig. 9-style sweep pricing hybrid
+  prefill+decode batches across token budgets and prompt lengths
+  directly on the execution model.
+
+Usage::
+
+    python benchmarks/bench_simulator_speed.py            # full harness
+    python benchmarks/bench_simulator_speed.py --quick    # CI smoke
+    python benchmarks/bench_simulator_speed.py --no-write # don't touch
+                                                          # BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Deployment, execution_model_for  # noqa: E402
+from repro.experiments.capacity_runner import (  # noqa: E402
+    measure_capacity,
+    serving_config_for,
+)
+from repro.experiments.common import Scale, mistral_deployment  # noqa: E402
+from repro.experiments.fig09_hybrid_latency import run_hybrid_latency  # noqa: E402
+from repro.hardware.catalog import A100_80G  # noqa: E402
+from repro.metrics.slo import derived_slo  # noqa: E402
+from repro.models.catalog import TINY_1B  # noqa: E402
+from repro.perf.cache import CachedExecutionModel  # noqa: E402
+from repro.reporting import (  # noqa: E402
+    BenchCase,
+    render_bench_table,
+    write_bench_json,
+)
+from repro.types import SchedulerKind  # noqa: E402
+from repro.workload.datasets import SHAREGPT4  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulator.json"
+
+# Sized so the uncached dynamic-scheduler sweep stays around a minute;
+# --quick shrinks both the model and the load for CI.
+SWEEP_SCALE = Scale(num_requests=24, capacity_rel_tol=0.3, capacity_max_probes=5)
+QUICK_SCALE = Scale(num_requests=10, capacity_rel_tol=0.4, capacity_max_probes=3)
+
+
+def _probe_fingerprint(result) -> list[tuple]:
+    """Everything a capacity search decided, as comparable values."""
+    return [
+        (
+            qps,
+            ok,
+            metrics.median_ttft,
+            metrics.p99_tbt,
+            metrics.max_tbt,
+            metrics.throughput_tokens_per_s,
+            metrics.num_preemptions,
+        )
+        for qps, metrics, ok in result.probes
+    ] + [("capacity", result.capacity_qps)]
+
+
+def _timed_capacity_sweep(
+    deployment: Deployment,
+    scale: Scale,
+    seed: int,
+    min_load_duration: float = 60.0,
+) -> BenchCase:
+    """Fixed-seed capacity sweep, dynamic scheduler, both paths."""
+    slo = derived_slo(deployment.execution_model(), strict=True)
+    scale = replace(scale, seed=seed)
+
+    def sweep(perf_cache: bool):
+        config = serving_config_for(
+            deployment, SchedulerKind.SARATHI_DYNAMIC, strict=True,
+            perf_cache=perf_cache,
+        )
+        exec_model = execution_model_for(deployment, config)
+        start = time.perf_counter()
+        result = measure_capacity(
+            deployment,
+            SchedulerKind.SARATHI_DYNAMIC,
+            SHAREGPT4,
+            slo,
+            scale,
+            config=config,
+            qps_hint=0.5,
+            min_load_duration=min_load_duration,
+            exec_model=exec_model,
+        )
+        return time.perf_counter() - start, result, exec_model
+
+    uncached_s, uncached, _ = sweep(perf_cache=False)
+    cached_s, cached, cached_model = sweep(perf_cache=True)
+    assert isinstance(cached_model, CachedExecutionModel)
+    stats = cached_model.cache_stats
+
+    identical = _probe_fingerprint(uncached) == _probe_fingerprint(cached)
+    return BenchCase(
+        name="capacity_sweep_dynamic",
+        uncached_seconds=uncached_s,
+        cached_seconds=cached_s,
+        identical=identical,
+        cache_hits=stats.hits,
+        cache_misses=stats.misses,
+        work_hits=stats.work_hits,
+        work_misses=stats.work_misses,
+        detail=(
+            f"{deployment.label}, sarathi_dynamic, {SHAREGPT4.name}, "
+            f"seed={scale.seed}, probes={cached.num_probes}, "
+            f"capacity={cached.capacity_qps:.2f} qps"
+        ),
+    )
+
+
+def _timed_hybrid_batch(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+    """Fig. 9-style hybrid-batch pricing sweep, both paths."""
+    budgets = (128, 256) if quick else (128, 256, 512, 1024, 2048)
+    batch_sizes = (8, 32) if quick else (8, 16, 32, 64)
+    repeats = 2 if quick else 5
+
+    def sweep(exec_model):
+        points = []
+        for _ in range(repeats):
+            for budget in budgets:
+                for batch_size in batch_sizes:
+                    points.extend(
+                        run_hybrid_latency(
+                            deployment,
+                            token_budget=budget,
+                            decode_batch_size=batch_size,
+                            exec_model=exec_model,
+                        )
+                    )
+        return points
+
+    uncached_model = deployment.execution_model()
+    start = time.perf_counter()
+    uncached_points = sweep(uncached_model)
+    uncached_s = time.perf_counter() - start
+
+    cached_model = CachedExecutionModel(deployment.execution_model())
+    start = time.perf_counter()
+    cached_points = sweep(cached_model)
+    cached_s = time.perf_counter() - start
+
+    identical = uncached_points == cached_points
+    stats = cached_model.cache_stats
+    return BenchCase(
+        name="hybrid_batch_fig09",
+        uncached_seconds=uncached_s,
+        cached_seconds=cached_s,
+        identical=identical,
+        cache_hits=stats.hits,
+        cache_misses=stats.misses,
+        work_hits=stats.work_hits,
+        work_misses=stats.work_misses,
+        detail=(
+            f"{deployment.label}, budgets={budgets}, "
+            f"decode_batches={batch_sizes}, repeats={repeats}"
+        ),
+    )
+
+
+def bench_simulator_cache_speed(benchmark, report):
+    """pytest entry: quick variant of the harness, same assertions."""
+    deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+
+    def run():
+        sweep = _timed_capacity_sweep(
+            deployment, QUICK_SCALE, seed=0, min_load_duration=10.0
+        )
+        hybrid = _timed_hybrid_batch(deployment, quick=True, seed=0)
+        return [sweep, hybrid]
+
+    cases = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Simulator speed — memoized vs raw execution model "
+        "(cached path must be bit-identical and faster).",
+        render_bench_table(cases),
+    )
+    for case in cases:
+        assert case.identical, f"{case.name}: cached path diverged"
+    sweep = cases[0]
+    assert sweep.speedup >= 2.0, f"speedup {sweep.speedup:.2f}x below 2x"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny model, tiny load"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the report (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print the table without rewriting the JSON report",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero unless the capacity sweep reaches this speedup",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+        scale = QUICK_SCALE
+    else:
+        deployment = mistral_deployment()
+        scale = SWEEP_SCALE
+
+    print(f"deployment: {deployment.label} ({'quick' if args.quick else 'full'})")
+    print("timing capacity sweep (dynamic scheduler)…", flush=True)
+    sweep_case = _timed_capacity_sweep(
+        deployment, scale, args.seed, min_load_duration=10.0 if args.quick else 60.0
+    )
+    print("timing hybrid-batch pricing sweep…", flush=True)
+    hybrid_case = _timed_hybrid_batch(deployment, args.quick, args.seed)
+    cases = [sweep_case, hybrid_case]
+
+    print()
+    print(render_bench_table(cases))
+
+    failures = [case.name for case in cases if not case.identical]
+    if failures:
+        print(f"\nFAIL: outputs diverged between paths: {', '.join(failures)}")
+        return 1
+    if args.min_speedup is not None and sweep_case.speedup < args.min_speedup:
+        print(
+            f"\nFAIL: capacity-sweep speedup {sweep_case.speedup:.2f}x "
+            f"below required {args.min_speedup:.2f}x"
+        )
+        return 1
+
+    if not args.no_write:
+        meta = {
+            "deployment": deployment.label,
+            "quick": args.quick,
+            "seed": args.seed,
+            "python": sys.version.split()[0],
+        }
+        path = write_bench_json(args.output, cases, meta)
+        print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.memory.capacity import (
 from repro.metrics.summary import RunMetrics, summarize
 from repro.models.config import ModelConfig
 from repro.parallel.config import ParallelConfig
+from repro.perf.cache import DEFAULT_MAX_ENTRIES, CachedExecutionModel
 from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.perf.iteration import ExecutionModel
 from repro.scheduling.ablations import (
@@ -52,8 +53,9 @@ class Deployment:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     calibration: Calibration = DEFAULT_CALIBRATION
 
-    def execution_model(self) -> ExecutionModel:
-        return ExecutionModel(self.model, self.gpu, self.parallel, self.calibration)
+    def execution_model(self, cached: bool = False) -> ExecutionModel:
+        model = ExecutionModel(self.model, self.gpu, self.parallel, self.calibration)
+        return CachedExecutionModel(model) if cached else model
 
     def kv_capacity_tokens(self, reservation_style: bool = False) -> int:
         reserve = (
@@ -89,6 +91,11 @@ class ServingConfig:
     # "recompute" re-prefills from scratch, "swap" parks KV in host
     # memory and pays PCIe transfers instead.
     preemption_mode: str = "recompute"
+    # Memoize execution-model pricing (bit-identical results; see
+    # repro.perf.cache).  On by default — disable to time the raw
+    # analytical model or to bisect a suspected cache bug.
+    perf_cache: bool = True
+    perf_cache_max_entries: int = DEFAULT_MAX_ENTRIES
 
     def with_budget(self, token_budget: int) -> "ServingConfig":
         return replace(self, token_budget=token_budget)
@@ -103,8 +110,34 @@ def build_memory(deployment: Deployment, config: ServingConfig) -> MemoryManager
     return PagedBlockManager(capacity, block_size=config.block_size)
 
 
-def build_scheduler(deployment: Deployment, config: ServingConfig) -> Scheduler:
-    """Construct a fresh scheduler (and its memory manager)."""
+def execution_model_for(
+    deployment: Deployment, config: ServingConfig
+) -> ExecutionModel:
+    """The deployment's execution model, memoized when config asks.
+
+    Build one and pass it to several ``simulate``/``build_engine``
+    calls to share warm cache entries across runs (capacity searches
+    replay thousands of overlapping batch compositions).
+    """
+    exec_model = deployment.execution_model()
+    if config.perf_cache:
+        exec_model = CachedExecutionModel(
+            exec_model, max_entries=config.perf_cache_max_entries
+        )
+    return exec_model
+
+
+def build_scheduler(
+    deployment: Deployment,
+    config: ServingConfig,
+    exec_model: ExecutionModel | None = None,
+) -> Scheduler:
+    """Construct a fresh scheduler (and its memory manager).
+
+    ``exec_model`` lets dynamic (SLO-driven) schedulers price candidate
+    iterations on the same — possibly cached — model the engine runs
+    on, instead of building their own.
+    """
     memory = build_memory(deployment, config)
     kind = config.scheduler
     if kind is SchedulerKind.FASTER_TRANSFORMER:
@@ -128,7 +161,8 @@ def build_scheduler(deployment: Deployment, config: ServingConfig) -> Scheduler:
             kv_bytes_per_token=kv_bytes,
         )
     if kind is SchedulerKind.SARATHI_DYNAMIC:
-        exec_model = deployment.execution_model()
+        if exec_model is None:
+            exec_model = execution_model_for(deployment, config)
         slo = config.tbt_slo
         if slo is None:
             slo = derive_slo(exec_model, strict=True)
@@ -157,11 +191,21 @@ def build_scheduler(deployment: Deployment, config: ServingConfig) -> Scheduler:
     raise ValueError(f"unknown scheduler kind {kind!r}")
 
 
-def build_engine(deployment: Deployment, config: ServingConfig) -> ReplicaEngine:
-    """A fresh engine ready to ``run`` a request trace."""
+def build_engine(
+    deployment: Deployment,
+    config: ServingConfig,
+    exec_model: ExecutionModel | None = None,
+) -> ReplicaEngine:
+    """A fresh engine ready to ``run`` a request trace.
+
+    Passing ``exec_model`` overrides ``config.perf_cache`` — the caller
+    owns the model (typically to share one warm cache across engines).
+    """
+    if exec_model is None:
+        exec_model = execution_model_for(deployment, config)
     return ReplicaEngine(
-        deployment.execution_model(),
-        build_scheduler(deployment, config),
+        exec_model,
+        build_scheduler(deployment, config, exec_model=exec_model),
         max_inflight_batches=config.max_inflight_batches,
     )
 
@@ -176,12 +220,15 @@ def simulate(
     config: ServingConfig,
     requests: list[Request],
     max_time: float | None = None,
+    exec_model: ExecutionModel | None = None,
 ) -> tuple[SimulationResult, RunMetrics]:
     """Run a trace through a fresh engine and summarize it.
 
     The input requests are cloned first, so the same trace can be
-    replayed across schedulers and loads.
+    replayed across schedulers and loads.  ``exec_model`` (see
+    ``execution_model_for``) shares one — typically cached — model
+    across calls.
     """
-    engine = build_engine(deployment, config)
+    engine = build_engine(deployment, config, exec_model=exec_model)
     result = engine.run(clone_requests(requests), max_time=max_time)
     return result, summarize(result)

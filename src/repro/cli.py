@@ -16,7 +16,7 @@ import argparse
 
 from repro.api import Deployment, ServingConfig, simulate
 from repro.experiments.capacity_runner import measure_capacity, serving_config_for
-from repro.experiments.common import Scale
+from repro.experiments.common import Scale, perf_cache_from_env
 from repro.hardware.catalog import ETHERNET_100G, get_gpu
 from repro.metrics.slo import derived_slo
 from repro.models.catalog import get_model, list_models
@@ -41,6 +41,22 @@ def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use 100G Ethernet for the pipeline link (default NVLink)",
     )
+
+
+def _add_perf_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--perf-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="memoize execution-model pricing (bit-identical results; "
+        "default on, or REPRO_PERF_CACHE)",
+    )
+
+
+def _perf_cache_from(args: argparse.Namespace) -> bool:
+    if args.perf_cache is None:
+        return perf_cache_from_env()
+    return args.perf_cache
 
 
 def _deployment_from(args: argparse.Namespace) -> Deployment:
@@ -69,12 +85,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
     )
     config = ServingConfig(
-        scheduler=SchedulerKind(args.scheduler), token_budget=args.token_budget
+        scheduler=SchedulerKind(args.scheduler),
+        token_budget=args.token_budget,
+        perf_cache=_perf_cache_from(args),
     )
-    _, metrics = simulate(deployment, config, trace)
+    result, metrics = simulate(deployment, config, trace)
     print(f"deployment: {deployment.label}")
     print(f"scheduler:  {args.scheduler} (budget {args.token_budget})")
     print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        print(
+            f"perf cache: {stats.hits}/{stats.hits + stats.misses} batch hits "
+            f"({stats.hit_rate:.0%}), {stats.work_hit_rate:.0%} attention-work hits"
+        )
     print()
     print(f"median TTFT          {metrics.median_ttft:8.3f} s")
     print(f"P99 TBT              {metrics.p99_tbt:8.3f} s")
@@ -91,7 +115,9 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     strict = args.slo == "strict"
     slo = derived_slo(deployment.execution_model(), strict=strict)
     scheduler = SchedulerKind(args.scheduler)
-    config = serving_config_for(deployment, scheduler, strict)
+    config = serving_config_for(
+        deployment, scheduler, strict, perf_cache=_perf_cache_from(args)
+    )
     scale = Scale(
         num_requests=args.requests,
         capacity_rel_tol=0.15,
@@ -133,7 +159,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     trace = generate_requests(
         dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
     )
-    rows = compare_schedulers(deployment, trace, token_budget=args.token_budget)
+    rows = compare_schedulers(
+        deployment,
+        trace,
+        token_budget=args.token_budget,
+        perf_cache=_perf_cache_from(args),
+    )
     title = (
         f"{deployment.label} on {dataset.name} "
         f"({args.requests} requests @ {args.qps} qps)"
@@ -177,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--requests", type=int, default=128)
     sim.add_argument("--token-budget", type=int, default=512)
     sim.add_argument("--seed", type=int, default=0)
+    _add_perf_cache_arg(sim)
     sim.set_defaults(func=_cmd_simulate)
 
     cap = sub.add_parser("capacity", help="search the max sustainable QPS under an SLO")
@@ -188,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     cap.add_argument("--requests", type=int, default=128)
     cap.add_argument("--probes", type=int, default=12)
     cap.add_argument("--qps-hint", type=float, default=1.0)
+    _add_perf_cache_arg(cap)
     cap.set_defaults(func=_cmd_capacity)
 
     budget = sub.add_parser("budget", help="derive SLOs and token budgets (§4.3)")
@@ -204,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--requests", type=int, default=96)
     compare.add_argument("--token-budget", type=int, default=512)
     compare.add_argument("--seed", type=int, default=0)
+    _add_perf_cache_arg(compare)
     compare.set_defaults(func=_cmd_compare)
 
     reproduce = sub.add_parser(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.batch import Batch
 from repro.engine.simulator import EventQueue
@@ -20,6 +21,9 @@ from repro.metrics.timeline import IterationRecord
 from repro.perf.iteration import ExecutionModel
 from repro.scheduling.base import Scheduler
 from repro.types import IterationTime, Request
+
+if TYPE_CHECKING:
+    from repro.perf.cache import CacheStats
 
 _ARRIVAL = "arrival"
 _STAGE_DONE = "stage_done"
@@ -40,6 +44,11 @@ class SimulationResult:
     num_stages: int
     num_preemptions: int = 0
     unfinished: list[Request] = field(default_factory=list)
+    # Snapshot of the execution-model cache counters at the end of the
+    # run (None when the engine ran on an uncached model).  A model
+    # shared across runs (e.g. one capacity search) accumulates, so
+    # per-run deltas require differencing consecutive snapshots.
+    cache_stats: "CacheStats | None" = None
 
     @property
     def finished_requests(self) -> list[Request]:
@@ -143,6 +152,7 @@ class ReplicaEngine:
             num_stages=self.num_stages,
             num_preemptions=self.scheduler.num_preemptions,
             unfinished=unfinished,
+            cache_stats=getattr(self.exec_model, "cache_stats", None),
         )
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -29,6 +30,11 @@ class EventQueue:
         self.now = 0.0
 
     def push(self, time: float, kind: str, payload: Any = None) -> None:
+        if not math.isfinite(time):
+            # NaN compares false against everything, so a NaN-timed
+            # entry would silently corrupt the heap invariant instead
+            # of failing; reject inf alongside it for the same reason.
+            raise ValueError(f"cannot schedule event at non-finite time {time!r}")
         if time < self.now - 1e-9:
             raise ValueError(f"cannot schedule event at {time} before now={self.now}")
         heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))

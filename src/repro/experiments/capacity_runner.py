@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import Deployment, ServingConfig, simulate
+from repro.api import Deployment, ServingConfig, execution_model_for, simulate
 from repro.experiments.common import (
     LLAMA_RELAXED_TOKEN_BUDGET,
     RELAXED_TOKEN_BUDGET,
     STRICT_TOKEN_BUDGET,
     Scale,
+    perf_cache_from_env,
 )
 from repro.metrics.capacity import CapacityResult, find_capacity
 from repro.metrics.slo import SLOSpec, derived_slo
@@ -53,15 +54,19 @@ def serving_config_for(
     strict: bool,
     max_batch_size: int = 128,
     token_budget: int | None = None,
+    perf_cache: bool | None = None,
 ) -> ServingConfig:
     """A scheduler's serving config for one SLO regime."""
     budget = token_budget or token_budget_for(deployment, strict)
     reserve_len = 16384  # worst-case sequence across both datasets
+    if perf_cache is None:
+        perf_cache = perf_cache_from_env()
     return ServingConfig(
         scheduler=scheduler,
         token_budget=budget,
         max_batch_size=max_batch_size,
         reserve_len=reserve_len,
+        perf_cache=perf_cache,
     )
 
 
@@ -81,19 +86,31 @@ def measure_capacity(
     strict: bool | None = None,
     qps_hint: float = 0.5,
     min_load_duration: float = MIN_LOAD_DURATION,
+    exec_model=None,
 ) -> CapacityResult:
-    """Search the maximum sustainable QPS for one configuration."""
+    """Search the maximum sustainable QPS for one configuration.
+
+    Pass ``exec_model`` to supply (and afterwards inspect) the model
+    shared by every probe — e.g. a ``CachedExecutionModel`` whose hit
+    counters a caller wants to read back.
+    """
     if config is None:
         if strict is None:
             raise ValueError("pass either config or strict")
         config = serving_config_for(deployment, scheduler, strict)
+
+    # One (possibly memoized) execution model serves every probe: the
+    # model's inputs are immutable, so later probes run on the warm
+    # cache earlier probes populated.
+    if exec_model is None:
+        exec_model = execution_model_for(deployment, config)
 
     def run_at_qps(qps: float):
         num_requests = max(scale.num_requests, int(qps * min_load_duration))
         trace = generate_requests(
             dataset, num_requests=num_requests, qps=qps, seed=scale.seed
         )
-        _, metrics = simulate(deployment, config, trace)
+        _, metrics = simulate(deployment, config, trace, exec_model=exec_model)
         return metrics
 
     return find_capacity(

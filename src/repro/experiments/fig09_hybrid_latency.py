@@ -54,15 +54,18 @@ def run_hybrid_latency(
     decode_batch_size: int = 32,
     decode_context: int = 1024,
     prompt_lengths: tuple[int, ...] = PROMPT_LENGTHS,
+    exec_model=None,
 ) -> list[HybridLatencyPoint]:
     """Price decode-only vs hybrid-with-full vs hybrid-with-chunk batches.
 
     The chunked variant charges the *worst* chunk of the prompt (the
     last one, which re-reads the most KV), i.e. the worst iteration a
-    co-running decode would experience.
+    co-running decode would experience.  ``exec_model`` lets sweeps
+    over budgets/batch shapes reuse one (possibly memoized) model.
     """
     deployment = deployment or mistral_deployment()
-    exec_model = deployment.execution_model()
+    if exec_model is None:
+        exec_model = deployment.execution_model()
     decodes = [TokenWork.decode(decode_context) for _ in range(decode_batch_size)]
     points = []
     for prompt_len in prompt_lengths:

@@ -1,14 +1,24 @@
-"""Side-by-side scheduler comparison reports.
+"""Comparison and perf-trajectory reports.
 
 One call replays the same trace under several schedulers and renders a
 markdown table of the paper's key metrics — the quickest way to see
 the throughput-latency tradeoff on a new deployment or workload.
 Exposed on the CLI as ``python -m repro compare``.
+
+The module also defines the perf-regression report format: each
+``BenchCase`` times one workload on the cached and uncached execution
+models (``repro.perf.cache``) and asserts the outputs stayed
+bit-identical; ``write_bench_json`` persists the cases as
+``BENCH_simulator.json`` so successive PRs have a speed trajectory to
+compare against (see ``benchmarks/bench_simulator_speed.py``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 from repro.api import Deployment, ServingConfig, simulate
 from repro.metrics.timeline import longest_stall
@@ -41,6 +51,7 @@ def compare_schedulers(
     schedulers: tuple[SchedulerKind, ...] = DEFAULT_COMPARISON,
     token_budget: int = 512,
     max_batch_size: int = 128,
+    perf_cache: bool = True,
 ) -> list[ComparisonRow]:
     """Replay ``requests`` under each scheduler and collect metrics."""
     if not requests:
@@ -48,7 +59,10 @@ def compare_schedulers(
     rows = []
     for kind in schedulers:
         config = ServingConfig(
-            scheduler=kind, token_budget=token_budget, max_batch_size=max_batch_size
+            scheduler=kind,
+            token_budget=token_budget,
+            max_batch_size=max_batch_size,
+            perf_cache=perf_cache,
         )
         result, metrics = simulate(deployment, config, requests)
         rows.append(
@@ -63,6 +77,111 @@ def compare_schedulers(
             )
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Perf-regression reporting (BENCH_simulator.json)
+# ----------------------------------------------------------------------
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One workload timed on the uncached vs the cached execution model.
+
+    ``identical`` records whether the two paths produced bit-identical
+    simulation outputs — a speedup only counts when it is True.
+    """
+
+    name: str
+    uncached_seconds: float
+    cached_seconds: float
+    identical: bool
+    cache_hits: int = 0
+    cache_misses: int = 0
+    work_hits: int = 0
+    work_misses: int = 0
+    detail: str = ""
+
+    @property
+    def speedup(self) -> float:
+        if self.cached_seconds <= 0:
+            return float("inf")
+        return self.uncached_seconds / self.cached_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def work_hit_rate(self) -> float:
+        total = self.work_hits + self.work_misses
+        return self.work_hits / total if total else 0.0
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "uncached_seconds": self.uncached_seconds,
+            "cached_seconds": self.cached_seconds,
+            "speedup": self.speedup,
+            "identical": self.identical,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "work_hits": self.work_hits,
+            "work_misses": self.work_misses,
+            "work_hit_rate": self.work_hit_rate,
+            "detail": self.detail,
+        }
+
+
+def bench_payload(
+    cases: list[BenchCase], meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The JSON document ``BENCH_simulator.json`` holds."""
+    if not cases:
+        raise ValueError("a bench payload needs at least one case")
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": "simulator_speed",
+        "meta": meta or {},
+        "cases": [case.as_row() for case in cases],
+    }
+
+
+def write_bench_json(
+    path: str | Path, cases: list[BenchCase], meta: dict[str, Any] | None = None
+) -> Path:
+    """Persist a perf-regression report; returns the resolved path."""
+    path = Path(path)
+    path.write_text(json.dumps(bench_payload(cases, meta), indent=2) + "\n")
+    return path
+
+
+def read_bench_json(path: str | Path) -> dict[str, Any]:
+    """Load a previously written perf-regression report."""
+    return json.loads(Path(path).read_text())
+
+
+def render_bench_table(cases: list[BenchCase]) -> str:
+    """Plain-text summary of a perf-regression run."""
+    from repro.experiments.common import format_table
+
+    headers = ["case", "uncached (s)", "cached (s)", "speedup", "batch hits", "work hits", "identical"]
+    rows = [
+        [
+            case.name,
+            f"{case.uncached_seconds:.2f}",
+            f"{case.cached_seconds:.2f}",
+            f"{case.speedup:.2f}x",
+            f"{case.hit_rate:.0%}",
+            f"{case.work_hit_rate:.0%}",
+            "yes" if case.identical else "NO",
+        ]
+        for case in cases
+    ]
+    return format_table(headers, rows)
 
 
 def render_markdown(rows: list[ComparisonRow], title: str = "") -> str:

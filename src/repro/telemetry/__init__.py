@@ -2,6 +2,7 @@
 
 from repro.telemetry.recorder import (
     iteration_rows,
+    read_csv,
     read_jsonl,
     request_rows,
     run_counters,
@@ -16,4 +17,5 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "write_csv",
+    "read_csv",
 ]

@@ -105,10 +105,52 @@ def write_csv(path: str | Path, rows: list[Row]) -> Path:
     return path
 
 
+def _parse_csv_cell(text: str) -> Any:
+    """Invert ``csv.DictWriter``'s stringification for our row types."""
+    if text == "":
+        return None
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_csv(path: str | Path) -> list[Row]:
+    """Read back a CSV table written by :func:`write_csv`.
+
+    Cell types are recovered (None/bool/int/float/str), so a round
+    trip of any table this module produces is exact — Python floats
+    stringify losslessly.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        return [
+            {key: _parse_csv_cell(value) for key, value in row.items()}
+            for row in reader
+        ]
+
+
 def run_counters(result: "SimulationResult") -> Row:
-    """Aggregate counters of one run — the quick health check."""
+    """Aggregate counters of one run — the quick health check.
+
+    Includes the execution-model cache counters (zeros when the run
+    used the uncached model) so sweeps can track hit rates alongside
+    scheduling health.
+    """
+    from repro.perf.cache import CacheStats
+
     hybrid = sum(1 for r in result.records if r.stage == 0 and r.is_hybrid)
     stage0 = [r for r in result.records if r.stage == 0]
+    cache = result.cache_stats if result.cache_stats is not None else CacheStats()
     return {
         "num_requests": len(result.requests),
         "num_finished": len(result.finished_requests),
@@ -124,4 +166,5 @@ def run_counters(result: "SimulationResult") -> Row:
             if stage0
             else 0.0
         ),
+        **cache.as_row(),
     }

@@ -22,6 +22,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--scheduler", "magic"])
 
+    def test_perf_cache_flag_tristate(self):
+        parse = build_parser().parse_args
+        assert parse(["simulate"]).perf_cache is None  # defer to env/default
+        assert parse(["simulate", "--perf-cache"]).perf_cache is True
+        assert parse(["simulate", "--no-perf-cache"]).perf_cache is False
+        assert parse(["capacity", "--no-perf-cache"]).perf_cache is False
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -39,6 +46,13 @@ class TestCommands:
     def test_budget_profile_flag(self, capsys):
         assert main(["budget", "--model", "tiny-1b", "--profile"]) == 0
         assert "budget profile" in capsys.readouterr().out
+
+    def test_simulate_reports_cache_stats(self, capsys):
+        base = ["simulate", "--model", "tiny-1b", "--qps", "4", "--requests", "8"]
+        assert main(base) == 0
+        assert "perf cache" in capsys.readouterr().out
+        assert main(base + ["--no-perf-cache"]) == 0
+        assert "perf cache" not in capsys.readouterr().out
 
     def test_simulate_small_run(self, capsys):
         code = main(

@@ -46,6 +46,17 @@ class TestEventQueue:
         assert q
         assert len(q) == 1
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_time_rejected(self, bad):
+        # Regression: a NaN-timed entry compares false against every
+        # other entry, silently corrupting heap order instead of failing.
+        q = EventQueue()
+        q.push(1.0, "ok")
+        with pytest.raises(ValueError, match="non-finite"):
+            q.push(bad, "bad")
+        assert len(q) == 1
+        assert q.pop()[1] == "ok"
+
 
 class TestReplicaEngineSingleStage:
     def _run(self, deployment, requests, scheduler=SchedulerKind.SARATHI, **cfg):

@@ -4,7 +4,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.reporting import ComparisonRow, compare_schedulers, render_markdown
+from repro.reporting import (
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    ComparisonRow,
+    bench_payload as make_bench_payload,
+    compare_schedulers,
+    read_bench_json,
+    render_bench_table,
+    render_markdown,
+    write_bench_json,
+)
 from repro.types import SchedulerKind
 
 from tests.conftest import make_request
@@ -50,6 +60,52 @@ class TestCompareSchedulers:
 
         with pytest.raises(ValueError):
             compare_schedulers(Deployment(model=TINY_1B, gpu=A100_80G), [])
+
+
+class TestBenchReport:
+    CASE = BenchCase(
+        name="capacity_sweep_dynamic",
+        uncached_seconds=20.0,
+        cached_seconds=2.0,
+        identical=True,
+        cache_hits=30,
+        cache_misses=10,
+        work_hits=970,
+        work_misses=30,
+        detail="tiny run",
+    )
+
+    def test_derived_rates(self):
+        assert self.CASE.speedup == pytest.approx(10.0)
+        assert self.CASE.hit_rate == pytest.approx(0.75)
+        assert self.CASE.work_hit_rate == pytest.approx(0.97)
+
+    def test_zero_cached_seconds_is_inf_speedup(self):
+        case = BenchCase(
+            name="x", uncached_seconds=1.0, cached_seconds=0.0, identical=True
+        )
+        assert case.speedup == float("inf")
+
+    def test_payload_shape(self):
+        payload = make_bench_payload([self.CASE], meta={"seed": 0})
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["meta"] == {"seed": 0}
+        (row,) = payload["cases"]
+        assert row["speedup"] == pytest.approx(10.0)
+        assert row["identical"] is True
+
+    def test_payload_requires_cases(self):
+        with pytest.raises(ValueError):
+            make_bench_payload([])
+
+    def test_json_roundtrip(self, tmp_path):
+        path = write_bench_json(tmp_path / "bench.json", [self.CASE], {"q": True})
+        assert read_bench_json(path) == make_bench_payload([self.CASE], {"q": True})
+
+    def test_render_table(self):
+        text = render_bench_table([self.CASE])
+        assert "capacity_sweep_dynamic" in text
+        assert "10.0" in text and "yes" in text
 
 
 class TestRenderMarkdown:

@@ -9,6 +9,7 @@ import pytest
 from repro.api import ServingConfig, build_engine, clone_requests
 from repro.telemetry.recorder import (
     iteration_rows,
+    read_csv,
     read_jsonl,
     request_rows,
     run_counters,
@@ -83,6 +84,28 @@ class TestCounters:
         counters = run_counters(small_result)
         assert 0 <= counters["num_hybrid_iterations"] <= counters["num_iterations"]
 
+    def test_cache_counters_present_for_cached_run(self, small_result):
+        # The default config memoizes the execution model, so the run's
+        # counters carry real hit/miss numbers.
+        counters = run_counters(small_result)
+        assert counters["cache_misses"] > 0
+        assert counters["cache_size"] > 0
+        assert 0.0 <= counters["cache_hit_rate"] <= 1.0
+        assert (
+            counters["cache_hits"] + counters["cache_misses"]
+            >= counters["num_iterations"]
+        )
+
+    def test_cache_counters_zero_for_uncached_run(self, tiny_deployment):
+        trace = [make_request(prompt_len=100, output_len=3) for _ in range(3)]
+        engine = build_engine(
+            tiny_deployment, ServingConfig(token_budget=128, perf_cache=False)
+        )
+        counters = run_counters(engine.run(trace))
+        assert counters["cache_hits"] == 0
+        assert counters["cache_misses"] == 0
+        assert counters["cache_hit_rate"] == 0.0
+
 
 class TestSerialization:
     def test_jsonl_roundtrip(self, small_result, tmp_path):
@@ -100,6 +123,38 @@ class TestSerialization:
     def test_csv_empty_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             write_csv(tmp_path / "x.csv", [])
+
+    def test_csv_roundtrip_iteration_rows(self, small_result, tmp_path):
+        """CSV parses back to the same rows, types and values exact."""
+        rows = iteration_rows(small_result)
+        path = write_csv(tmp_path / "iters.csv", rows)
+        assert read_csv(path) == rows
+
+    def test_csv_roundtrip_request_rows(self, small_result, tmp_path):
+        rows = request_rows(small_result)
+        path = write_csv(tmp_path / "requests.csv", rows)
+        back = read_csv(path)
+        assert back == rows
+        # None survives (unfinished requests leave empty cells).
+        assert all(isinstance(r["ttft"], float) for r in back)
+
+    def test_csv_roundtrip_none_and_bool_cells(self, tmp_path):
+        rows = [
+            {"a": None, "b": True, "c": False, "d": 1.5, "e": 7, "f": "text"},
+            {"a": 0.1, "b": False, "c": None, "d": -2.0, "e": 0, "f": "True-ish"},
+        ]
+        path = write_csv(tmp_path / "mixed.csv", rows)
+        assert read_csv(path) == rows
+
+    def test_counters_roundtrip_with_cache_fields(self, small_result, tmp_path):
+        """run_counters (incl. cache_* fields) survive JSONL and CSV."""
+        counters = run_counters(small_result)
+        jsonl_path = write_jsonl(tmp_path / "counters.jsonl", [counters])
+        assert read_jsonl(jsonl_path) == [counters]
+        csv_path = write_csv(tmp_path / "counters.csv", [counters])
+        (back,) = read_csv(csv_path)
+        assert back == counters
+        assert back["cache_hit_rate"] == counters["cache_hit_rate"]
 
 
 class TestTraceSerialization:
