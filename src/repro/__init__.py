@@ -38,8 +38,20 @@ from repro.api import (
     clone_requests,
     simulate,
 )
+from repro.cluster import (
+    AdmissionPolicy,
+    FaultSchedule,
+    FleetConfig,
+    FleetResult,
+    LeastOutstandingTokensRouter,
+    ReplicaFault,
+    SloAwareRouter,
+    simulate_cluster,
+    simulate_fleet,
+)
 from repro.types import (
     IterationTime,
+    PreemptionMode,
     Request,
     RequestPhase,
     SchedulerKind,
@@ -52,7 +64,17 @@ __all__ = [
     "Deployment",
     "ServingConfig",
     "SchedulerKind",
+    "PreemptionMode",
     "simulate",
+    "simulate_cluster",
+    "simulate_fleet",
+    "FleetConfig",
+    "FleetResult",
+    "FaultSchedule",
+    "ReplicaFault",
+    "AdmissionPolicy",
+    "LeastOutstandingTokensRouter",
+    "SloAwareRouter",
     "build_engine",
     "build_scheduler",
     "build_memory",

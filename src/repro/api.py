@@ -41,7 +41,7 @@ from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
 from repro.scheduling.faster_transformer import FasterTransformerScheduler
 from repro.scheduling.orca import OrcaScheduler
 from repro.scheduling.vllm import VLLMScheduler
-from repro.types import Request, SchedulerKind
+from repro.types import PreemptionMode, Request, SchedulerKind
 
 
 @dataclass(frozen=True)
@@ -89,13 +89,50 @@ class ServingConfig:
     tbt_slo: float | None = None
     # What eviction does under memory pressure (paged schedulers):
     # "recompute" re-prefills from scratch, "swap" parks KV in host
-    # memory and pays PCIe transfers instead.
-    preemption_mode: str = "recompute"
+    # memory and pays PCIe transfers instead.  Strings are normalized
+    # to the enum at construction time.
+    preemption_mode: PreemptionMode | str = PreemptionMode.RECOMPUTE
     # Memoize execution-model pricing (bit-identical results; see
     # repro.perf.cache).  On by default — disable to time the raw
     # analytical model or to bisect a suspected cache bug.
     perf_cache: bool = True
     perf_cache_max_entries: int = DEFAULT_MAX_ENTRIES
+
+    def __post_init__(self) -> None:
+        # Validate at construction time so a bad knob fails where it was
+        # written, not several layers down inside scheduler/memory
+        # constructors with a stack trace that hides the culprit field.
+        if self.token_budget <= 0:
+            raise ValueError(
+                f"token_budget must be positive, got {self.token_budget}"
+            )
+        if self.max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
+        if self.reserve_len <= 0:
+            raise ValueError(f"reserve_len must be positive, got {self.reserve_len}")
+        if self.max_inflight_batches is not None and self.max_inflight_batches < 1:
+            raise ValueError(
+                "max_inflight_batches must be >= 1 or None, "
+                f"got {self.max_inflight_batches}"
+            )
+        if self.tbt_slo is not None and self.tbt_slo <= 0:
+            raise ValueError(
+                f"tbt_slo must be positive or None, got {self.tbt_slo}"
+            )
+        if self.perf_cache_max_entries <= 0:
+            raise ValueError(
+                "perf_cache_max_entries must be positive, "
+                f"got {self.perf_cache_max_entries}"
+            )
+        # Normalize to the enum (raises a naming error on typos); plain
+        # strings keep working thanks to PreemptionMode's str mixin.
+        object.__setattr__(
+            self, "preemption_mode", PreemptionMode.parse(self.preemption_mode)
+        )
 
     def with_budget(self, token_budget: int) -> "ServingConfig":
         return replace(self, token_budget=token_budget)
@@ -224,11 +261,23 @@ def simulate(
 ) -> tuple[SimulationResult, RunMetrics]:
     """Run a trace through a fresh engine and summarize it.
 
-    The input requests are cloned first, so the same trace can be
-    replayed across schedulers and loads.  ``exec_model`` (see
-    ``execution_model_for``) shares one — typically cached — model
-    across calls.
+    This is the 1-replica special case of the fleet simulator
+    (:func:`repro.cluster.fleet.simulate_fleet`): one replica, no
+    faults, unbounded admission — which reduces, event for event, to
+    ``ReplicaEngine.run`` on a fresh engine.  The input requests are
+    cloned first, so the same trace can be replayed across schedulers
+    and loads.  ``exec_model`` (see ``execution_model_for``) shares
+    one — typically cached — model across calls.
     """
-    engine = build_engine(deployment, config, exec_model=exec_model)
-    result = engine.run(clone_requests(requests), max_time=max_time)
-    return result, summarize(result)
+    # Imported lazily: repro.cluster.fleet imports this module.
+    from repro.cluster.fleet import FleetConfig, simulate_fleet
+
+    fleet_result, metrics = simulate_fleet(
+        deployment,
+        config,
+        requests,
+        FleetConfig(num_replicas=1),
+        max_time=max_time,
+        exec_model=exec_model,
+    )
+    return fleet_result.merged(), metrics

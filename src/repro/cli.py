@@ -8,6 +8,8 @@ Examples::
     python -m repro capacity --model mistral-7b --dataset openchat_sharegpt4 \
         --scheduler sarathi --slo strict
     python -m repro budget --model llama2-70b --gpu a40-48gb --tp 4 --pp 2
+    python -m repro fleet --replicas 4 --qps 4.0 --fault-rate 0.02 \
+        --router slo-aware --max-queue-depth 64
 """
 
 from __future__ import annotations
@@ -106,6 +108,72 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"median sched delay   {metrics.median_scheduling_delay:8.3f} s")
     print(f"throughput           {metrics.throughput_tokens_per_s:8.0f} tok/s")
     print(f"preemptions          {metrics.num_preemptions:8d}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.cluster.fleet import AdmissionPolicy, FaultSchedule, FleetConfig, simulate_fleet
+    from repro.experiments.fleet import DEFAULT_TTFT_DEADLINE, router_named
+    from repro.metrics.goodput import RequestSLO, fleet_goodput
+    from repro.metrics.slo import derived_slo
+
+    if args.sweep:
+        from repro.experiments.common import scale_from_env
+        from repro.experiments.registry import reproduce_figure
+
+        print(reproduce_figure("fleet", scale_from_env()))
+        return 0
+
+    deployment = _deployment_from(args)
+    dataset = get_dataset(args.dataset)
+    trace = generate_requests(
+        dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
+    )
+    config = ServingConfig(
+        scheduler=SchedulerKind(args.scheduler),
+        token_budget=args.token_budget,
+        perf_cache=_perf_cache_from(args),
+    )
+    slo = derived_slo(deployment.execution_model(), strict=False)
+    horizon = max(r.arrival_time for r in trace) + 30.0
+    fleet_config = FleetConfig(
+        num_replicas=args.replicas,
+        faults=FaultSchedule.poisson(
+            args.replicas,
+            rate=args.fault_rate,
+            mean_downtime=args.mean_downtime,
+            horizon=horizon,
+            seed=args.fault_seed,
+        ),
+        max_queue_depth=args.max_queue_depth,
+        admission=AdmissionPolicy(args.admission),
+    )
+    result, metrics = simulate_fleet(
+        deployment,
+        config,
+        trace,
+        fleet_config,
+        router=router_named(args.router, args.replicas, slo.p99_tbt),
+    )
+    report = fleet_goodput(
+        result, RequestSLO(ttft_deadline=DEFAULT_TTFT_DEADLINE, tbt_deadline=slo.p99_tbt)
+    )
+    print(f"deployment: {deployment.label} × {args.replicas} replicas")
+    print(f"scheduler:  {args.scheduler} (budget {args.token_budget}), "
+          f"router {args.router}")
+    print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
+    print(f"faults:     {len(fleet_config.faults.faults)} scheduled "
+          f"({args.fault_rate}/replica-s, mean downtime {args.mean_downtime}s)")
+    print()
+    print(f"finished / offered   {report.num_finished:5d} / {report.num_offered}")
+    print(f"shed (overload)      {report.num_shed:5d}")
+    print(f"failovers            {report.num_failovers:5d}")
+    print(f"prefill restarts     {report.num_restarts:5d}")
+    print(f"rejections           {result.num_rejections:5d}")
+    print(f"SLO attainment       {report.attainment:8.1%}")
+    print(f"goodput              {report.goodput_rps:8.2f} req/s")
+    print(f"median TTFT          {metrics.median_ttft:8.3f} s")
+    print(f"P99 TBT              {metrics.p99_tbt:8.3f} s")
     return 0
 
 
@@ -210,6 +278,39 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     _add_perf_cache_arg(sim)
     sim.set_defaults(func=_cmd_simulate)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a multi-replica fleet with faults and overload control",
+    )
+    _add_deployment_args(fleet)
+    fleet.add_argument("--replicas", type=int, default=2, help="fleet size")
+    fleet.add_argument("--dataset", default="openchat_sharegpt4")
+    fleet.add_argument("--scheduler", default="sarathi",
+                       choices=[k.value for k in SchedulerKind])
+    fleet.add_argument("--qps", type=float, default=2.0, help="aggregate arrival rate")
+    fleet.add_argument("--requests", type=int, default=128)
+    fleet.add_argument("--token-budget", type=int, default=512)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--router",
+        default="least-outstanding",
+        choices=["round-robin", "least-outstanding", "slo-aware"],
+    )
+    fleet.add_argument("--fault-rate", type=float, default=0.0,
+                       help="crashes per replica-second (Poisson)")
+    fleet.add_argument("--mean-downtime", type=float, default=5.0,
+                       help="mean seconds a crashed replica stays down")
+    fleet.add_argument("--fault-seed", type=int, default=0)
+    fleet.add_argument("--max-queue-depth", type=int, default=None,
+                       help="per-replica admission bound (default unbounded)")
+    fleet.add_argument("--admission", default="reject",
+                       choices=["reject", "shed", "spill"],
+                       help="what happens when the routed replica's queue is full")
+    fleet.add_argument("--sweep", action="store_true",
+                       help="run the replicas × faults × load sweep instead")
+    _add_perf_cache_arg(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
 
     cap = sub.add_parser("capacity", help="search the max sustainable QPS under an SLO")
     _add_deployment_args(cap)

@@ -1,12 +1,44 @@
 """Multi-replica serving: routers and fleet simulation."""
 
 from repro.cluster.cluster import ClusterResult, simulate_cluster
-from repro.cluster.router import LeastTokensRouter, RoundRobinRouter, Router
+from repro.cluster.fleet import (
+    AdmissionPolicy,
+    FaultSchedule,
+    FleetConfig,
+    FleetEvent,
+    FleetResult,
+    FleetSimulator,
+    ReplicaFault,
+    simulate_fleet,
+)
+from repro.cluster.router import (
+    FleetRouter,
+    LeastOutstandingTokensRouter,
+    LeastTokensRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    SloAwareRouter,
+    as_fleet_router,
+)
 
 __all__ = [
     "Router",
     "RoundRobinRouter",
     "LeastTokensRouter",
+    "FleetRouter",
+    "ReplicaSnapshot",
+    "LeastOutstandingTokensRouter",
+    "SloAwareRouter",
+    "as_fleet_router",
     "ClusterResult",
     "simulate_cluster",
+    "ReplicaFault",
+    "FaultSchedule",
+    "AdmissionPolicy",
+    "FleetConfig",
+    "FleetEvent",
+    "FleetResult",
+    "FleetSimulator",
+    "simulate_fleet",
 ]

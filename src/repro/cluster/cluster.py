@@ -1,21 +1,36 @@
-"""Multi-replica serving: route a trace across independent replicas.
+"""Multi-replica serving: the static-partition compatibility layer.
+
+.. deprecated::
+    ``simulate_cluster`` predates the event-driven fleet simulator
+    (:mod:`repro.cluster.fleet`) and is kept as a thin compatibility
+    shim over it.  New code should call
+    :func:`repro.cluster.fleet.simulate_fleet`, which adds state-aware
+    routing, fault injection and overload control; with zero faults and
+    unbounded admission the fleet path reproduces this module's old
+    static-partition results bit for bit (the routers here are
+    state-blind, so online routing makes the same decisions the offline
+    pre-partitioning did).
 
 Replicas do not share KV cache or batches, so once the router has
-assigned requests, each replica simulates independently and the
-metrics merge.  This is how the paper's "capacity per replica" results
-extend to fleet sizing: capacity scales near-linearly with replicas as
-long as routing keeps the load balanced.
+assigned requests, the metrics merge across replicas.  This is how the
+paper's "capacity per replica" results extend to fleet sizing: capacity
+scales near-linearly with replicas as long as routing keeps the load
+balanced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.api import Deployment, ServingConfig, build_engine, clone_requests
+from repro.api import Deployment, ServingConfig
 from repro.cluster.router import LeastTokensRouter, Router
 from repro.engine.replica import SimulationResult
-from repro.metrics.summary import RunMetrics, summarize
+from repro.metrics.summary import RunMetrics
 from repro.types import Request
+
+if TYPE_CHECKING:
+    from repro.perf.iteration import ExecutionModel
 
 
 @dataclass
@@ -31,6 +46,10 @@ class ClusterResult:
 
     def merged(self) -> SimulationResult:
         """A fleet-wide view for metric aggregation."""
+        if not self.replica_results:
+            return SimulationResult(
+                requests=[], records=[], makespan=0.0, num_stages=0
+            )
         requests: list[Request] = []
         records = []
         makespan = 0.0
@@ -58,38 +77,52 @@ def simulate_cluster(
     requests: list[Request],
     num_replicas: int,
     router: Router | None = None,
+    *,
+    max_time: float | None = None,
+    exec_model: "ExecutionModel | None" = None,
 ) -> tuple[ClusterResult, RunMetrics]:
     """Route a trace across ``num_replicas`` and simulate each.
 
-    The input trace is cloned (like :func:`repro.api.simulate`), so it
-    can be replayed across fleet sizes and router policies.
+    Deprecated shim over :func:`repro.cluster.fleet.simulate_fleet`
+    (zero faults, unbounded admission) kept for callers of the old
+    static-partition API.  The input trace is cloned (like
+    :func:`repro.api.simulate`), so it can be replayed across fleet
+    sizes and router policies.  ``max_time`` and ``exec_model`` match
+    the :func:`repro.api.simulate` signature: the former cuts the run
+    short, the latter shares one warm execution model across the fleet.
     """
+    from repro.cluster.fleet import FleetConfig, simulate_fleet
+
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")
     if not requests:
         raise ValueError("simulate_cluster needs at least one request")
     router = router or LeastTokensRouter(num_replicas)
-    if router.num_replicas != num_replicas:
-        raise ValueError(
-            f"router is configured for {router.num_replicas} replicas, "
-            f"cluster has {num_replicas}"
-        )
 
-    cloned = clone_requests(requests)
-    per_replica: list[list[Request]] = [[] for _ in range(num_replicas)]
-    assignments = []
-    for request in sorted(cloned, key=lambda r: r.arrival_time):
-        replica = router.route(request)
-        if not 0 <= replica < num_replicas:
-            raise ValueError(f"router returned invalid replica {replica}")
-        per_replica[replica].append(request)
-        assignments.append(replica)
-
-    results = []
-    for assigned in per_replica:
-        if not assigned:
-            continue
-        engine = build_engine(deployment, config)
-        results.append(engine.run(assigned))
-    cluster_result = ClusterResult(replica_results=results, assignments=assignments)
-    return cluster_result, summarize(cluster_result.merged())
+    fleet_result, metrics = simulate_fleet(
+        deployment,
+        config,
+        requests,
+        FleetConfig(num_replicas=num_replicas),
+        router=router,
+        max_time=max_time,
+        exec_model=exec_model,
+    )
+    # Old shape: only replicas that received work, and one assignment
+    # per request in arrival order (the order the router saw them).  A
+    # ``max_time`` cutoff can leave late requests unrouted; they simply
+    # have no assignment.
+    arrival_order = sorted(
+        fleet_result.requests, key=lambda r: r.arrival_time
+    )
+    cluster_result = ClusterResult(
+        replica_results=[
+            result for result in fleet_result.replica_results if result.requests
+        ],
+        assignments=[
+            fleet_result.assignments[r.request_id]
+            for r in arrival_order
+            if r.request_id in fleet_result.assignments
+        ],
+    )
+    return cluster_result, metrics

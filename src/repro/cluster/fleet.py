@@ -1,0 +1,758 @@
+"""Event-driven fleet simulation: online routing, faults, overload.
+
+This is the production-shaped multi-replica layer.  Where the old
+cluster path statically pre-partitioned the whole trace and simulated
+replicas independently, the fleet simulator advances every replica
+through one shared virtual clock and makes *online* decisions:
+
+* **State-aware routing** — each arrival is routed against live
+  replica snapshots (queue depth, outstanding tokens, KV occupancy,
+  recent TBT tail), so routers see the consequences of their own past
+  decisions, exactly like a real gateway.
+* **Fault injection** — a deterministic :class:`FaultSchedule` crashes
+  and restores replicas mid-run.  A crash throws away the replica's
+  uncommitted work; its unfinished requests fail over through the
+  router to surviving replicas, restarting prefill (counted via
+  ``Request.num_restarts``) while keeping every token the user already
+  saw.
+* **Overload control** — per-replica admission with bounded queues and
+  configurable shed/reject/spill policies plus timeout+backoff retry,
+  so goodput degrades gracefully instead of queueing unboundedly.
+
+Determinism: the event loop is driven by (time, insertion-order)
+min-heaps and contains no randomness of its own; fault schedules carry
+their own seed.  With zero faults and unbounded admission the fleet
+path reproduces the old static-partition results bit for bit, and a
+1-replica fleet run is exactly ``ReplicaEngine.run`` (the single-replica
+``repro.api.simulate`` is implemented as this special case).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.router import (
+    FleetRouter,
+    LeastOutstandingTokensRouter,
+    ReplicaSnapshot,
+    Router,
+    as_fleet_router,
+)
+from repro.engine.simulator import EventQueue
+from repro.engine.replica import ReplicaEngine, SimulationResult
+from repro.metrics.stats import percentile
+from repro.metrics.summary import RunMetrics, summarize
+from repro.metrics.timeline import IterationRecord
+from repro.types import Request, RequestPhase
+
+if TYPE_CHECKING:
+    from repro.api import Deployment, ServingConfig
+    from repro.perf.cache import CacheStats
+    from repro.perf.iteration import ExecutionModel
+
+_ARRIVE = "arrive"          # payload: (request, attempt)
+_FAULT_DOWN = "fault_down"  # payload: replica index
+_FAULT_UP = "fault_up"      # payload: replica index
+
+
+# ----------------------------------------------------------------------
+# Fault schedules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One crash (and optional recovery) of one replica."""
+
+    replica: int
+    down_at: float
+    up_at: float | None = None  # None = never recovers
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.down_at < 0:
+            raise ValueError(f"down_at must be >= 0, got {self.down_at}")
+        if self.up_at is not None and self.up_at <= self.down_at:
+            raise ValueError(
+                f"up_at ({self.up_at}) must be after down_at ({self.down_at})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic set of replica crash/restore events."""
+
+    faults: tuple[ReplicaFault, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def validate(self, num_replicas: int) -> None:
+        for fault in self.faults:
+            if fault.replica >= num_replicas:
+                raise ValueError(
+                    f"fault targets replica {fault.replica}, "
+                    f"fleet has {num_replicas}"
+                )
+
+    @classmethod
+    def single(
+        cls, replica: int, down_at: float, up_at: float | None = None
+    ) -> "FaultSchedule":
+        return cls(faults=(ReplicaFault(replica, down_at, up_at),))
+
+    @classmethod
+    def poisson(
+        cls,
+        num_replicas: int,
+        rate: float,
+        mean_downtime: float | None,
+        horizon: float,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Seedable memoryless crashes: ``rate`` crashes/replica-second.
+
+        Each replica independently draws exponential time-to-failure;
+        after a crash it stays down for an exponential downtime with
+        the given mean (or forever when ``mean_downtime`` is None) and
+        the failure clock restarts.  Deterministic for a given seed.
+        """
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if mean_downtime is not None and mean_downtime <= 0:
+            raise ValueError("mean_downtime must be positive (or None)")
+        if rate == 0:
+            return cls()
+        rng = random.Random(seed)
+        faults: list[ReplicaFault] = []
+        for replica in range(num_replicas):
+            t = 0.0
+            while True:
+                t += rng.expovariate(rate)
+                if t >= horizon:
+                    break
+                if mean_downtime is None:
+                    faults.append(ReplicaFault(replica, t))
+                    break
+                downtime = rng.expovariate(1.0 / mean_downtime)
+                faults.append(ReplicaFault(replica, t, t + downtime))
+                t += downtime
+        return cls(tuple(faults))
+
+
+# ----------------------------------------------------------------------
+# Overload control
+# ----------------------------------------------------------------------
+class AdmissionPolicy(str, enum.Enum):
+    """What happens when the routed replica's queue is full."""
+
+    REJECT = "reject"  # bounce back to the front-end; retry with backoff
+    SHED = "shed"      # drop the arriving request immediately (counted)
+    SPILL = "spill"    # try any other replica with room, else reject
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet topology plus failure/overload knobs."""
+
+    num_replicas: int = 1
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    # Per-replica bound on *waiting* (not yet memory-admitted) requests;
+    # None keeps the old unbounded-queue behaviour.
+    max_queue_depth: int | None = None
+    admission: AdmissionPolicy = AdmissionPolicy.REJECT
+    # Rejected requests retry after backoff * factor**attempt seconds …
+    retry_backoff: float = 0.25
+    retry_backoff_factor: float = 2.0
+    # … up to max_retries times (then shed), or until the total wait
+    # exceeds admission_timeout (then shed), whichever comes first.
+    max_retries: int = 4
+    admission_timeout: float | None = None
+    # Sliding window of recent TBT samples kept per replica for the
+    # SLO-aware router and telemetry snapshots.
+    tbt_window: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {self.num_replicas}")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {self.max_queue_depth}"
+            )
+        try:
+            admission = AdmissionPolicy(self.admission)
+        except ValueError:
+            choices = ", ".join(repr(p.value) for p in AdmissionPolicy)
+            raise ValueError(
+                f"unknown admission policy {self.admission!r}; "
+                f"choose one of {choices}"
+            ) from None
+        object.__setattr__(self, "admission", admission)
+        if self.retry_backoff <= 0:
+            raise ValueError(f"retry_backoff must be positive, got {self.retry_backoff}")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.admission_timeout is not None and self.admission_timeout <= 0:
+            raise ValueError(
+                f"admission_timeout must be positive or None, "
+                f"got {self.admission_timeout}"
+            )
+        if self.tbt_window < 1:
+            raise ValueError(f"tbt_window must be >= 1, got {self.tbt_window}")
+
+
+# ----------------------------------------------------------------------
+# Telemetry events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetEvent:
+    """One control-plane decision, for telemetry and determinism tests.
+
+    Kinds: ``route`` (delivery to a replica), ``reject`` (bounced by
+    admission control; ``retry_at`` set when a retry was scheduled),
+    ``shed`` (dropped for good), ``failover`` (re-routed off a crashed
+    replica), ``fault_down`` / ``fault_up`` (replica state changes).
+    """
+
+    time: float
+    kind: str
+    request_id: int | None = None
+    replica: int | None = None
+    attempt: int = 0
+    reason: str | None = None
+    queue_depth: int | None = None
+    outstanding_tokens: int | None = None
+    retry_at: float | None = None
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    # Cloned input trace, in input order (includes shed requests).
+    requests: list[Request]
+    # Requests dropped by overload control, in shed order.
+    shed: list[Request]
+    # One result per replica slot.  With faults a request that moved
+    # between replicas appears in each incarnation's request list; use
+    # ``requests``/``merged()`` for fleet-wide accounting.
+    replica_results: list[SimulationResult]
+    # Every routing/rejection/failover decision, in decision order.
+    events: list[FleetEvent]
+    # request_id -> replica of the *first* delivery.
+    assignments: dict[int, int]
+    makespan: float
+    num_replicas: int
+    num_rejections: int
+    num_failovers: int
+    cache_stats: "CacheStats | None" = None
+
+    @property
+    def finished_requests(self) -> list[Request]:
+        return [r for r in self.requests if r.is_finished]
+
+    @property
+    def num_shed(self) -> int:
+        return len(self.shed)
+
+    @property
+    def num_restarts(self) -> int:
+        return sum(r.num_restarts for r in self.requests)
+
+    def lost_requests(self) -> list[Request]:
+        """Requests neither finished nor explicitly shed.
+
+        Empty for every run that drains its queues (the conservation
+        invariant); non-empty only when ``max_time`` cut the run short.
+        """
+        shed_ids = {r.request_id for r in self.shed}
+        return [
+            r
+            for r in self.requests
+            if not r.is_finished and r.request_id not in shed_ids
+        ]
+
+    def merged(self) -> SimulationResult:
+        """The fleet-wide view used for metric aggregation."""
+        records: list[IterationRecord] = []
+        num_stages = 0
+        preemptions = 0
+        for result in self.replica_results:
+            records.extend(result.records)
+            num_stages = max(num_stages, result.num_stages)
+            preemptions += result.num_preemptions
+        return SimulationResult(
+            requests=list(self.requests),
+            records=records,
+            makespan=self.makespan,
+            num_stages=num_stages,
+            num_preemptions=preemptions,
+            unfinished=[r for r in self.requests if not r.is_finished],
+            cache_stats=self.cache_stats,
+        )
+
+
+# ----------------------------------------------------------------------
+# One replica slot (survives crash/restore cycles)
+# ----------------------------------------------------------------------
+class _ReplicaSlot:
+    """A replica index that engines come and go from across faults."""
+
+    def __init__(
+        self,
+        index: int,
+        deployment: "Deployment",
+        config: "ServingConfig",
+        exec_model: "ExecutionModel",
+        tbt_window: int,
+    ) -> None:
+        self.index = index
+        self._deployment = deployment
+        self._config = config
+        self._exec_model = exec_model
+        self._tbt_window = tbt_window
+        self.alive = True
+        self.engine: ReplicaEngine | None = None
+        self.num_stages = 0
+        self.num_incarnations = 0
+        # Carried across incarnations: completed iteration records,
+        # preemption counts, and requests that finished here.
+        self._past_records: list[IterationRecord] = []
+        self._past_preemptions = 0
+        self._finished_past: list[Request] = []
+        self.recent_tbts: list[float] = []
+        self._boot()
+
+    def _boot(self) -> None:
+        from repro.api import build_engine
+
+        self.engine = build_engine(
+            self._deployment, self._config, exec_model=self._exec_model
+        )
+        self.engine.token_observer = self._observe_token
+        self.num_stages = self.engine.num_stages
+        self.num_incarnations += 1
+
+    def _observe_token(self, request: Request, tbt: float, now: float) -> None:
+        self.recent_tbts.append(tbt)
+        if len(self.recent_tbts) > self._tbt_window:
+            del self.recent_tbts[: -self._tbt_window]
+
+    # -- event-loop interface -----------------------------------------
+    def next_event_time(self) -> float | None:
+        if not self.alive:
+            return None
+        return self.engine.next_event_time()
+
+    def snapshot(self, now: float) -> ReplicaSnapshot:
+        if not self.alive:
+            return ReplicaSnapshot(
+                index=self.index,
+                alive=False,
+                queue_depth=0,
+                num_running=0,
+                num_pending=0,
+                outstanding_tokens=0,
+                kv_occupancy=0.0,
+                recent_p99_tbt=None,
+            )
+        pending = self.engine.pending_requests()
+        outstanding = sum(r.remaining_prefill + r.remaining_output for r in pending)
+        scheduler = self.engine.scheduler
+        return ReplicaSnapshot(
+            index=self.index,
+            alive=True,
+            queue_depth=scheduler.num_waiting,
+            num_running=scheduler.num_running,
+            num_pending=len(pending),
+            outstanding_tokens=outstanding,
+            kv_occupancy=scheduler.memory.occupancy,
+            recent_p99_tbt=(
+                percentile(self.recent_tbts, 99) if self.recent_tbts else None
+            ),
+        )
+
+    # -- fault transitions --------------------------------------------
+    def crash(self, now: float) -> list[Request]:
+        """Kill the current incarnation; return requests to fail over.
+
+        Committed iteration records are kept (that work ran), in-flight
+        iterations are discarded (they never completed), and every
+        unfinished resident request restarts its prefill — emitted
+        tokens were already streamed to users, so they fold into the
+        restarted prefill exactly like a recompute preemption.
+        """
+        assert self.alive and self.engine is not None
+        failed = self.engine.pending_requests()
+        self._past_records.extend(
+            r for r in self.engine.records if r.end <= now + 1e-12
+        )
+        self._past_preemptions += self.engine.scheduler.num_preemptions
+        self._finished_past.extend(
+            r for r in self.engine.all_requests if r.is_finished
+        )
+        self.engine = None
+        self.alive = False
+        self.recent_tbts.clear()
+        for request in failed:
+            if request.phase is not RequestPhase.QUEUED or request.context_len > 0:
+                request.restart_after_preemption()
+        return failed
+
+    def restore(self, now: float) -> None:
+        assert not self.alive
+        self.alive = True
+        self._boot()
+
+    # -- end of run ----------------------------------------------------
+    def finalize(
+        self, makespan: float, cache_stats: "CacheStats | None"
+    ) -> SimulationResult:
+        records = list(self._past_records)
+        preemptions = self._past_preemptions
+        requests = list(self._finished_past)
+        if self.engine is not None:
+            records.extend(self.engine.records)
+            preemptions += self.engine.scheduler.num_preemptions
+            requests.extend(self.engine.all_requests)
+        return SimulationResult(
+            requests=requests,
+            records=records,
+            makespan=makespan,
+            num_stages=self.num_stages,
+            num_preemptions=preemptions,
+            unfinished=[r for r in requests if not r.is_finished],
+            cache_stats=cache_stats,
+        )
+
+
+# ----------------------------------------------------------------------
+# The fleet simulator
+# ----------------------------------------------------------------------
+class FleetSimulator:
+    """Discrete-event co-simulation of N replicas behind one router."""
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        config: "ServingConfig",
+        fleet: FleetConfig,
+        router: FleetRouter | Router | None = None,
+        exec_model: "ExecutionModel | None" = None,
+    ) -> None:
+        from repro.api import execution_model_for
+
+        fleet.faults.validate(fleet.num_replicas)
+        self.fleet = fleet
+        # One (typically cached) execution model warms across replicas:
+        # identical deployments price identical batches, so the fleet
+        # shares cache entries instead of rebuilding a cold model per
+        # replica.
+        self.exec_model = (
+            exec_model
+            if exec_model is not None
+            else execution_model_for(deployment, config)
+        )
+        self.router = as_fleet_router(
+            router
+            if router is not None
+            else LeastOutstandingTokensRouter(fleet.num_replicas)
+        )
+        if self.router.num_replicas != fleet.num_replicas:
+            raise ValueError(
+                f"router is configured for {self.router.num_replicas} replicas, "
+                f"cluster has {fleet.num_replicas}"
+            )
+        self.replicas = [
+            _ReplicaSlot(i, deployment, config, self.exec_model, fleet.tbt_window)
+            for i in range(fleet.num_replicas)
+        ]
+        self.events: list[FleetEvent] = []
+        self.assignments: dict[int, int] = {}
+        self.shed: list[Request] = []
+        self.num_rejections = 0
+        self.num_failovers = 0
+
+    # -- main loop -----------------------------------------------------
+    def run(
+        self, requests: list[Request], max_time: float | None = None
+    ) -> FleetResult:
+        from repro.api import clone_requests
+
+        if not requests:
+            raise ValueError("simulate_fleet needs at least one request")
+        cloned = clone_requests(requests)
+        queue = EventQueue()
+        # Fault events enqueue first so a crash at the exact instant of
+        # an arrival is observed by that arrival's routing decision.
+        for fault in self.fleet.faults.faults:
+            queue.push(fault.down_at, _FAULT_DOWN, fault.replica)
+            if fault.up_at is not None:
+                queue.push(fault.up_at, _FAULT_UP, fault.replica)
+        for request in cloned:
+            queue.push(request.arrival_time, _ARRIVE, (request, 0))
+
+        now = 0.0
+        while True:
+            global_time = queue.peek_time()
+            replica_time, replica_idx = self._next_replica_event()
+            if global_time is None and replica_time is None:
+                break
+            # Global events win ties: in the single-engine loop every
+            # arrival is pushed before any stage event, so arrivals pop
+            # first at equal timestamps — the fleet preserves that.
+            take_global = replica_time is None or (
+                global_time is not None and global_time <= replica_time
+            )
+            chosen_time = global_time if take_global else replica_time
+            if max_time is not None and chosen_time > max_time:
+                now = chosen_time
+                break
+            if take_global:
+                now, kind, payload = queue.pop()
+                self._handle(kind, payload, now, queue)
+            else:
+                now = self.replicas[replica_idx].engine.step()
+
+        cache_stats = getattr(self.exec_model, "cache_stats", None)
+        result = FleetResult(
+            requests=cloned,
+            shed=list(self.shed),
+            replica_results=[
+                slot.finalize(now, cache_stats) for slot in self.replicas
+            ],
+            events=list(self.events),
+            assignments=dict(self.assignments),
+            makespan=now,
+            num_replicas=self.fleet.num_replicas,
+            num_rejections=self.num_rejections,
+            num_failovers=self.num_failovers,
+            cache_stats=cache_stats,
+        )
+        lost = result.lost_requests()
+        if lost and max_time is None:
+            raise RuntimeError(
+                f"fleet simulation drained its event queue with {len(lost)} "
+                "unfinished requests — scheduler/memory deadlock "
+                f"(first stuck: request {lost[0].request_id})"
+            )
+        return result
+
+    def _next_replica_event(self) -> tuple[float | None, int]:
+        best_time: float | None = None
+        best_idx = -1
+        for slot in self.replicas:
+            t = slot.next_event_time()
+            if t is not None and (best_time is None or t < best_time):
+                best_time, best_idx = t, slot.index
+        return best_time, best_idx
+
+    # -- event handlers ------------------------------------------------
+    def _handle(self, kind: str, payload: Any, now: float, queue: EventQueue) -> None:
+        if kind == _ARRIVE:
+            request, attempt = payload
+            self._route(request, attempt, now, queue)
+        elif kind == _FAULT_DOWN:
+            self._crash_replica(payload, now, queue)
+        elif kind == _FAULT_UP:
+            self._restore_replica(payload, now)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown fleet event kind {kind!r}")
+
+    def _crash_replica(self, index: int, now: float, queue: EventQueue) -> None:
+        slot = self.replicas[index]
+        if not slot.alive:
+            return
+        failed = slot.crash(now)
+        self.events.append(
+            FleetEvent(time=now, kind="fault_down", replica=index, reason=f"{len(failed)} failed over")
+        )
+        # Fail over in arrival order so re-routing is deterministic and
+        # FCFS-fair regardless of the engine's internal pool order.
+        for request in sorted(failed, key=lambda r: (r.arrival_time, r.request_id)):
+            self.num_failovers += 1
+            self.events.append(
+                FleetEvent(
+                    time=now,
+                    kind="failover",
+                    request_id=request.request_id,
+                    replica=index,
+                )
+            )
+            queue.push(now, _ARRIVE, (request, 0))
+
+    def _restore_replica(self, index: int, now: float) -> None:
+        slot = self.replicas[index]
+        if slot.alive:
+            return
+        slot.restore(now)
+        self.events.append(FleetEvent(time=now, kind="fault_up", replica=index))
+
+    def _route(
+        self, request: Request, attempt: int, now: float, queue: EventQueue
+    ) -> None:
+        snapshots = [slot.snapshot(now) for slot in self.replicas]
+        alive = [s for s in snapshots if s.alive]
+        if not alive:
+            self._reject(request, attempt, now, queue, None, "no_alive_replica")
+            return
+        choice = self.router.route(request, now, snapshots)
+        num = self.fleet.num_replicas
+        if not isinstance(choice, int) or not 0 <= choice < num:
+            raise ValueError(f"router returned invalid replica {choice!r}")
+        if not snapshots[choice].alive:
+            # A state-blind router picked a crashed replica; fail over
+            # deterministically to the next alive index.
+            for shift in range(1, num):
+                candidate = (choice + shift) % num
+                if snapshots[candidate].alive:
+                    choice = candidate
+                    break
+        depth_limit = self.fleet.max_queue_depth
+        if (
+            depth_limit is not None
+            and snapshots[choice].queue_depth >= depth_limit
+        ):
+            policy = self.fleet.admission
+            if policy is AdmissionPolicy.SPILL:
+                open_replicas = [s for s in alive if s.queue_depth < depth_limit]
+                if not open_replicas:
+                    self._reject(request, attempt, now, queue, choice, "fleet_saturated")
+                    return
+                choice = min(
+                    open_replicas,
+                    key=lambda s: (s.queue_depth, s.outstanding_tokens, s.index),
+                ).index
+            elif policy is AdmissionPolicy.SHED:
+                self._shed(request, attempt, now, choice, "queue_full")
+                return
+            else:
+                self._reject(request, attempt, now, queue, choice, "queue_full")
+                return
+        self.replicas[choice].engine.deliver(request, now)
+        self.assignments.setdefault(request.request_id, choice)
+        self.events.append(
+            FleetEvent(
+                time=now,
+                kind="route",
+                request_id=request.request_id,
+                replica=choice,
+                attempt=attempt,
+                queue_depth=snapshots[choice].queue_depth,
+                outstanding_tokens=snapshots[choice].outstanding_tokens,
+            )
+        )
+
+    def _reject(
+        self,
+        request: Request,
+        attempt: int,
+        now: float,
+        queue: EventQueue,
+        replica: int | None,
+        reason: str,
+    ) -> None:
+        self.num_rejections += 1
+        fleet = self.fleet
+        retry_at = now + fleet.retry_backoff * (fleet.retry_backoff_factor**attempt)
+        timed_out = (
+            fleet.admission_timeout is not None
+            and retry_at - request.arrival_time > fleet.admission_timeout
+        )
+        if attempt >= fleet.max_retries or timed_out:
+            self.events.append(
+                FleetEvent(
+                    time=now,
+                    kind="reject",
+                    request_id=request.request_id,
+                    replica=replica,
+                    attempt=attempt,
+                    reason=reason,
+                )
+            )
+            self._shed(
+                request,
+                attempt,
+                now,
+                replica,
+                "timeout" if timed_out else "retries_exhausted",
+            )
+            return
+        self.events.append(
+            FleetEvent(
+                time=now,
+                kind="reject",
+                request_id=request.request_id,
+                replica=replica,
+                attempt=attempt,
+                reason=reason,
+                retry_at=retry_at,
+            )
+        )
+        queue.push(retry_at, _ARRIVE, (request, attempt + 1))
+
+    def _shed(
+        self,
+        request: Request,
+        attempt: int,
+        now: float,
+        replica: int | None,
+        reason: str,
+    ) -> None:
+        self.shed.append(request)
+        self.events.append(
+            FleetEvent(
+                time=now,
+                kind="shed",
+                request_id=request.request_id,
+                replica=replica,
+                attempt=attempt,
+                reason=reason,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def simulate_fleet(
+    deployment: "Deployment",
+    config: "ServingConfig",
+    requests: list[Request],
+    fleet: FleetConfig | None = None,
+    *,
+    router: FleetRouter | Router | None = None,
+    max_time: float | None = None,
+    exec_model: "ExecutionModel | None" = None,
+) -> tuple[FleetResult, RunMetrics]:
+    """Run a trace through an online fleet and summarize it.
+
+    The unified entry point: ``repro.api.simulate`` is the 1-replica
+    special case and ``simulate_cluster`` the no-fault compatibility
+    shim.  The input trace is cloned, so it can be replayed across
+    fleet sizes, routers and fault schedules.  ``exec_model`` (see
+    ``repro.api.execution_model_for``) shares one — typically cached —
+    execution model across the whole fleet and across calls.
+    """
+    simulator = FleetSimulator(
+        deployment,
+        config,
+        fleet if fleet is not None else FleetConfig(),
+        router=router,
+        exec_model=exec_model,
+    )
+    result = simulator.run(requests, max_time=max_time)
+    return result, summarize(result.merged())

@@ -1,21 +1,59 @@
 """Request routers for multi-replica serving.
 
-Routing happens at arrival time using only information available to a
-real front-end at that moment: the request's prompt/output lengths and
-each replica's outstanding assigned work.  (True join-shortest-queue
-with live engine state would couple the replica simulations; the
-assigned-work heuristic is what production gateways typically run.)
+Two router generations coexist:
+
+* :class:`Router` — the legacy *state-blind* interface.  It sees only
+  the request and its own bookkeeping (cumulative assigned work), which
+  is what a front-end that never hears back from replicas can run.
+* :class:`FleetRouter` — the state-aware interface used by the
+  event-driven fleet simulator (:mod:`repro.cluster.fleet`).  At every
+  arrival it receives a live :class:`ReplicaSnapshot` per replica —
+  queue depth, outstanding tokens, KV occupancy, recently observed TBT
+  tail — exactly the feedback a production gateway gets from replica
+  health/metrics endpoints.
+
+Legacy routers still work everywhere: the fleet wraps them in an
+adapter that ignores the snapshots (and fails over deterministically
+when a state-blind router picks a crashed replica).
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 
 from repro.types import Request
 
 
+# ----------------------------------------------------------------------
+# Live replica state (produced by the fleet simulator each arrival)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """What the routing tier knows about one replica *right now*."""
+
+    index: int
+    alive: bool
+    # Requests queued at the replica but not yet admitted to KV memory.
+    queue_depth: int
+    # Requests admitted and progressing (prefill or decode).
+    num_running: int
+    # All unfinished requests resident on the replica.
+    num_pending: int
+    # Remaining prefill + remaining output tokens across pending work.
+    outstanding_tokens: int
+    # Fraction of KV-cache capacity currently claimed, in [0, 1].
+    kv_occupancy: float
+    # P99 over the replica's recent TBT samples (None before any
+    # decode tokens have been observed, or right after a restart).
+    recent_p99_tbt: float | None
+
+
+# ----------------------------------------------------------------------
+# Legacy state-blind routers
+# ----------------------------------------------------------------------
 class Router(abc.ABC):
-    """Assigns each arriving request to a replica index."""
+    """Assigns each arriving request to a replica index (state-blind)."""
 
     def __init__(self, num_replicas: int) -> None:
         if num_replicas < 1:
@@ -41,12 +79,13 @@ class RoundRobinRouter(Router):
 
 
 class LeastTokensRouter(Router):
-    """Send to the replica with the fewest outstanding assigned tokens.
+    """Send to the replica with the fewest *cumulatively assigned* tokens.
 
     Outstanding work is tracked as the total (prompt + expected output)
     tokens assigned so far, decayed by nothing — a conservative
     front-end estimate that balances heavy-tailed prompt lengths much
-    better than round-robin.
+    better than round-robin.  For the live-state version see
+    :class:`LeastOutstandingTokensRouter`.
     """
 
     def __init__(self, num_replicas: int) -> None:
@@ -57,3 +96,99 @@ class LeastTokensRouter(Router):
         choice = min(range(self.num_replicas), key=lambda i: self._assigned_tokens[i])
         self._assigned_tokens[choice] += request.total_len
         return choice
+
+
+# ----------------------------------------------------------------------
+# State-aware fleet routers
+# ----------------------------------------------------------------------
+class FleetRouter(abc.ABC):
+    """Routes arrivals against live replica state (fleet simulator)."""
+
+    def __init__(self, num_replicas: int) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.num_replicas = num_replicas
+
+    @abc.abstractmethod
+    def route(
+        self, request: Request, now: float, replicas: list[ReplicaSnapshot]
+    ) -> int:
+        """Replica index for this request; should pick an alive replica."""
+
+
+def _least_loaded(pool: list[ReplicaSnapshot]) -> int:
+    """Lowest outstanding work; queue depth then index break ties."""
+    return min(pool, key=lambda s: (s.outstanding_tokens, s.queue_depth, s.index)).index
+
+
+class LeastOutstandingTokensRouter(FleetRouter):
+    """Join the replica with the least *live* outstanding work.
+
+    Unlike :class:`LeastTokensRouter`, which only ever accumulates, this
+    reads each replica's actual remaining prefill+decode tokens at the
+    moment of arrival — finished work stops counting, so a replica that
+    drained its backlog immediately becomes attractive again (true
+    join-shortest-queue on token work rather than request count).
+    """
+
+    def route(
+        self, request: Request, now: float, replicas: list[ReplicaSnapshot]
+    ) -> int:
+        alive = [s for s in replicas if s.alive]
+        if not alive:
+            raise ValueError("no alive replica to route to")
+        return _least_loaded(alive)
+
+
+class SloAwareRouter(FleetRouter):
+    """Avoid replicas whose recent TBT tail violates the SLO.
+
+    Replicas whose observed recent P99 TBT exceeds ``tbt_slo`` are
+    treated as degraded and skipped while at least one healthy replica
+    exists (a degraded replica keeps its current work; it just stops
+    receiving new arrivals until its tail recovers).  Within the chosen
+    pool the least-outstanding-tokens rule applies.
+    """
+
+    def __init__(self, num_replicas: int, tbt_slo: float) -> None:
+        super().__init__(num_replicas)
+        if tbt_slo <= 0:
+            raise ValueError("tbt_slo must be positive")
+        self.tbt_slo = tbt_slo
+
+    def route(
+        self, request: Request, now: float, replicas: list[ReplicaSnapshot]
+    ) -> int:
+        alive = [s for s in replicas if s.alive]
+        if not alive:
+            raise ValueError("no alive replica to route to")
+        healthy = [
+            s
+            for s in alive
+            if s.recent_p99_tbt is None or s.recent_p99_tbt <= self.tbt_slo
+        ]
+        return _least_loaded(healthy or alive)
+
+
+class _LegacyRouterAdapter(FleetRouter):
+    """Run a state-blind :class:`Router` under the fleet interface."""
+
+    def __init__(self, router: Router) -> None:
+        super().__init__(router.num_replicas)
+        self.wrapped = router
+
+    def route(
+        self, request: Request, now: float, replicas: list[ReplicaSnapshot]
+    ) -> int:
+        return self.wrapped.route(request)
+
+
+def as_fleet_router(router: FleetRouter | Router) -> FleetRouter:
+    """Coerce either router generation into the fleet interface."""
+    if isinstance(router, FleetRouter):
+        return router
+    if isinstance(router, Router):
+        return _LegacyRouterAdapter(router)
+    raise TypeError(
+        f"expected a FleetRouter or Router, got {type(router).__name__}"
+    )

@@ -33,6 +33,11 @@ _STAGE_ENQUEUE = "stage_enqueue"
 # inject (e.g. the next round of a conversation).
 FollowupFn = Callable[[Request, float], list[Request]]
 
+# Called once per emitted decode token with (request, tbt_sample, now);
+# lets an external driver (the fleet simulator) observe live per-replica
+# TBT without re-scanning request state.
+TokenObserver = Callable[[Request, float, float], None]
+
 
 @dataclass
 class SimulationResult:
@@ -99,6 +104,7 @@ class ReplicaEngine:
         self._records: list[IterationRecord] = []
         self._followup_fn: FollowupFn | None = None
         self._all_requests: list[Request] = []
+        self.token_observer: TokenObserver | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -128,15 +134,7 @@ class ReplicaEngine:
             now, kind, payload = self._events.pop()
             if max_time is not None and now > max_time:
                 break
-            if kind == _ARRIVAL:
-                self.scheduler.add_request(payload, now)
-                self._try_schedule(now)
-            elif kind == _STAGE_DONE:
-                self._on_stage_done(*payload, now=now)
-            elif kind == _STAGE_ENQUEUE:
-                self._on_stage_enqueue(*payload, now=now)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {kind!r}")
+            self._dispatch(kind, payload, now)
 
         unfinished = [r for r in self._all_requests if not r.is_finished]
         if unfinished and max_time is None:
@@ -145,15 +143,71 @@ class ReplicaEngine:
                 "unfinished requests — scheduler/memory deadlock "
                 f"(first stuck: request {unfinished[0].request_id})"
             )
+        return self.result(makespan=now)
+
+    # ------------------------------------------------------------------
+    # Stepped interface (driven by the fleet simulator)
+    # ------------------------------------------------------------------
+    # ``run`` owns the event loop for a standalone replica.  A fleet
+    # driver instead *steps* each replica through a shared virtual
+    # clock: it delivers routed arrivals with ``deliver`` and pops one
+    # internal event at a time with ``step``, interleaving replicas in
+    # global time order.  Delivering an arrival at time t after all
+    # internal events strictly before t — and before those at exactly
+    # t — reproduces ``run``'s pop order bit for bit, because ``run``
+    # pushes every arrival before any stage event, so arrivals win the
+    # queue's insertion-order tie-break.
+
+    def deliver(self, request: Request, now: float) -> None:
+        """Inject an arriving request at time ``now`` (stepped mode)."""
+        self._all_requests.append(request)
+        self.scheduler.add_request(request, now)
+        self._try_schedule(now)
+
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next internal event, or ``None`` if idle."""
+        return self._events.peek_time()
+
+    def step(self) -> float:
+        """Pop and process exactly one internal event; returns its time."""
+        now, kind, payload = self._events.pop()
+        self._dispatch(kind, payload, now)
+        return now
+
+    def pending_requests(self) -> list[Request]:
+        """Delivered requests that have not finished (any phase)."""
+        return [r for r in self._all_requests if not r.is_finished]
+
+    @property
+    def records(self) -> list[IterationRecord]:
+        return self._records
+
+    @property
+    def all_requests(self) -> list[Request]:
+        return self._all_requests
+
+    def result(self, makespan: float) -> SimulationResult:
+        """Snapshot of this engine's state as a ``SimulationResult``."""
         return SimulationResult(
             requests=list(self._all_requests),
             records=self._records,
-            makespan=now,
+            makespan=makespan,
             num_stages=self.num_stages,
             num_preemptions=self.scheduler.num_preemptions,
-            unfinished=unfinished,
+            unfinished=[r for r in self._all_requests if not r.is_finished],
             cache_stats=getattr(self.exec_model, "cache_stats", None),
         )
+
+    def _dispatch(self, kind: str, payload: object, now: float) -> None:
+        if kind == _ARRIVAL:
+            self.scheduler.add_request(payload, now)
+            self._try_schedule(now)
+        elif kind == _STAGE_DONE:
+            self._on_stage_done(*payload, now=now)
+        elif kind == _STAGE_ENQUEUE:
+            self._on_stage_enqueue(*payload, now=now)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown event kind {kind!r}")
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -204,6 +258,14 @@ class ReplicaEngine:
         else:
             self._inflight -= 1
             finished = self.scheduler.on_batch_complete(batch, now)
+            if self.token_observer is not None:
+                for item in batch.items:
+                    times = item.request.token_times
+                    # A token emitted by *this* batch carries timestamp
+                    # ``now``; the gap to its predecessor is one TBT
+                    # sample (the first token has no predecessor).
+                    if len(times) >= 2 and times[-1] == now:
+                        self.token_observer(item.request, now - times[-2], now)
             if self._followup_fn is not None:
                 for request in finished:
                     for followup in self._followup_fn(request, now):

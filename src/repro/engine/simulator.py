@@ -39,6 +39,12 @@ class EventQueue:
             raise ValueError(f"cannot schedule event at {time} before now={self.now}")
         heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))
 
+    def peek_time(self) -> float | None:
+        """The timestamp of the next event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
     def pop(self) -> tuple[float, str, Any]:
         entry = heapq.heappop(self._heap)
         self.now = entry.time

@@ -1,0 +1,155 @@
+"""Fleet sweep: goodput across replica count × failure rate × load.
+
+The paper evaluates single-replica capacity (§5.1); this experiment
+extends the same SLO machinery to fleet operation, the regime the
+disaggregation baselines (DistServe, SplitWise) report in: how much
+*goodput* — requests that individually met their deadlines, divided by
+everything offered — a fleet sustains as replicas are added, load rises
+and replicas crash.  Zero-fault rows reproduce the static-scaling
+picture; faulted rows show how failover recompute and bounded
+admission bend it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api import ServingConfig, execution_model_for
+from repro.cluster.fleet import FaultSchedule, FleetConfig, FleetSimulator
+from repro.cluster.router import (
+    FleetRouter,
+    LeastOutstandingTokensRouter,
+    RoundRobinRouter,
+    SloAwareRouter,
+    as_fleet_router,
+)
+from repro.experiments.common import Scale, mistral_deployment, perf_cache_from_env
+from repro.metrics.goodput import RequestSLO, fleet_goodput
+from repro.metrics.slo import derived_slo
+from repro.metrics.summary import summarize
+from repro.types import SchedulerKind
+from repro.workload.datasets import SHAREGPT4, generate_requests
+
+# Deadline for the first token in the fleet goodput score: generous
+# next to the strict TBT deadline, tight enough that a failover
+# re-prefill during a backlog shows up as a violation.
+DEFAULT_TTFT_DEADLINE = 2.0
+
+# Bounded per-replica admission queue used by the sweep so overload
+# actually sheds instead of queueing unboundedly at the highest loads.
+SWEEP_MAX_QUEUE_DEPTH = 64
+
+
+@dataclass(frozen=True)
+class FleetSweepPoint:
+    """One (replicas, fault rate, load) operating point."""
+
+    num_replicas: int
+    qps: float
+    fault_rate: float
+    num_offered: int
+    num_finished: int
+    num_shed: int
+    num_failovers: int
+    num_restarts: int
+    attainment: float
+    goodput_rps: float
+    p99_tbt: float
+
+
+def router_named(name: str, num_replicas: int, tbt_slo: float) -> FleetRouter:
+    """Build a router from its CLI name."""
+    if name == "round-robin":
+        return as_fleet_router(RoundRobinRouter(num_replicas))
+    if name == "least-outstanding":
+        return LeastOutstandingTokensRouter(num_replicas)
+    if name == "slo-aware":
+        return SloAwareRouter(num_replicas, tbt_slo=tbt_slo)
+    raise ValueError(
+        f"unknown router {name!r}; choose one of "
+        "'round-robin', 'least-outstanding', 'slo-aware'"
+    )
+
+
+def run_fleet_sweep(
+    scale: Scale,
+    replica_counts: Sequence[int] = (1, 2, 4),
+    fault_rates: Sequence[float] = (0.0, 0.05),
+    load_factors: Sequence[float] = (0.5, 1.0),
+    qps_per_replica: float = 1.5,
+    mean_downtime: float = 5.0,
+    router: str = "least-outstanding",
+    perf_cache: bool | None = None,
+) -> list[FleetSweepPoint]:
+    """Sweep the fleet grid and score each point's goodput.
+
+    ``fault_rates`` are crashes per replica-second (Poisson, seeded by
+    ``scale.seed``); load is ``load_factor * qps_per_replica *
+    num_replicas`` so each replica sees comparable pressure across
+    fleet sizes.  One warm execution model is shared across the whole
+    sweep — every point prices the same deployment.
+    """
+    deployment = mistral_deployment()
+    if perf_cache is None:
+        perf_cache = perf_cache_from_env()
+    config = ServingConfig(scheduler=SchedulerKind.SARATHI, perf_cache=perf_cache)
+    exec_model = execution_model_for(deployment, config)
+    slo = derived_slo(exec_model, strict=False)
+    request_slo = RequestSLO(
+        ttft_deadline=DEFAULT_TTFT_DEADLINE, tbt_deadline=slo.p99_tbt
+    )
+
+    points: list[FleetSweepPoint] = []
+    for num_replicas in replica_counts:
+        for load in load_factors:
+            qps = load * qps_per_replica * num_replicas
+            trace = generate_requests(
+                SHAREGPT4,
+                num_requests=scale.num_requests,
+                qps=qps,
+                seed=scale.seed,
+            )
+            horizon = max(r.arrival_time for r in trace) + 30.0
+            for fault_rate in fault_rates:
+                fleet_config = FleetConfig(
+                    num_replicas=num_replicas,
+                    faults=FaultSchedule.poisson(
+                        num_replicas,
+                        rate=fault_rate,
+                        mean_downtime=mean_downtime,
+                        horizon=horizon,
+                        seed=scale.seed,
+                    ),
+                    max_queue_depth=SWEEP_MAX_QUEUE_DEPTH,
+                )
+                simulator = FleetSimulator(
+                    deployment,
+                    config,
+                    fleet_config,
+                    router=router_named(router, num_replicas, slo.p99_tbt),
+                    exec_model=exec_model,
+                )
+                result = simulator.run(trace)
+                report = fleet_goodput(result, request_slo)
+                p99_tbt = (
+                    summarize(result.merged()).p99_tbt
+                    if result.finished_requests
+                    else float("inf")
+                )
+                points.append(
+                    FleetSweepPoint(
+                        num_replicas=num_replicas,
+                        qps=qps,
+                        fault_rate=fault_rate,
+                        num_offered=report.num_offered,
+                        num_finished=report.num_finished,
+                        num_shed=report.num_shed,
+                        num_failovers=report.num_failovers,
+                        num_restarts=report.num_restarts,
+                        attainment=report.attainment,
+                        goodput_rps=report.goodput_rps,
+                        p99_tbt=p99_tbt,
+                    )
+                )
+    return points

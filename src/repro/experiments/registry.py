@@ -195,6 +195,22 @@ def _fig14(scale: Scale) -> Table:
     return (["prompt len", "chunk", "overhead (x)"], rows)
 
 
+def _fleet(scale: Scale) -> Table:
+    from repro.experiments.fleet import run_fleet_sweep
+
+    rows = [
+        [str(p.num_replicas), f"{p.qps:.2f}", f"{p.fault_rate:.2f}",
+         f"{p.attainment:.0%}", f"{p.goodput_rps:.2f}",
+         str(p.num_shed), str(p.num_failovers), str(p.num_restarts)]
+        for p in run_fleet_sweep(scale)
+    ]
+    return (
+        ["replicas", "qps", "faults/s", "attainment", "goodput rps",
+         "shed", "failovers", "restarts"],
+        rows,
+    )
+
+
 def _table4(scale: Scale) -> Table:
     from repro.experiments.table4_ablation import run_ablation
 
@@ -225,6 +241,7 @@ REGISTRY: dict[str, FigureEntry] = {
         FigureEntry("fig13b", "TP vs PP capacity", True, _fig13b),
         FigureEntry("fig14", "Chunked-prefill overhead", False, _fig14),
         FigureEntry("table4", "Technique ablation", False, _table4),
+        FigureEntry("fleet", "Fleet goodput: replicas × faults × load", True, _fleet),
     )
 }
 

@@ -44,6 +44,19 @@ class MemoryManager(abc.ABC):
     def free_token_slots(self) -> int:
         """Currently unclaimed token capacity."""
 
+    @property
+    @abc.abstractmethod
+    def total_token_slots(self) -> int:
+        """Total usable token capacity (free + claimed)."""
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of usable capacity currently claimed, in [0, 1]."""
+        total = self.total_token_slots
+        if total <= 0:
+            return 0.0
+        return 1.0 - self.free_token_slots / total
+
     @abc.abstractmethod
     def holds(self, request: Request) -> bool:
         """Whether the request currently owns an allocation."""
@@ -128,6 +141,10 @@ class PagedBlockManager(MemoryManager):
     def free_token_slots(self) -> int:
         return self._free_blocks * self.block_size
 
+    @property
+    def total_token_slots(self) -> int:
+        return self.num_blocks * self.block_size
+
     def holds(self, request: Request) -> bool:
         return request.request_id in self._allocated
 
@@ -196,6 +213,10 @@ class ReservationManager(MemoryManager):
     @property
     def free_token_slots(self) -> int:
         return self._free_tokens
+
+    @property
+    def total_token_slots(self) -> int:
+        return self.capacity_tokens
 
     def holds(self, request: Request) -> bool:
         return request.request_id in self._allocated

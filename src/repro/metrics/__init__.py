@@ -10,7 +10,14 @@ from repro.metrics.slo import (
 )
 from repro.metrics.stats import mean, median, p90, p99, percentile
 from repro.metrics.summary import RunMetrics, summarize
-from repro.metrics.goodput import GoodputReport, RequestSLO, goodput, request_meets_slo
+from repro.metrics.goodput import (
+    FleetGoodput,
+    GoodputReport,
+    RequestSLO,
+    fleet_goodput,
+    goodput,
+    request_meets_slo,
+)
 from repro.metrics.utilization import (
     BatchUtilization,
     RunUtilization,
@@ -55,4 +62,6 @@ __all__ = [
     "GoodputReport",
     "goodput",
     "request_meets_slo",
+    "FleetGoodput",
+    "fleet_goodput",
 ]

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.types import Request
 
 if TYPE_CHECKING:
+    from repro.cluster.fleet import FleetResult
     from repro.engine.replica import SimulationResult
 
 
@@ -81,4 +82,66 @@ def goodput(result: "SimulationResult", slo: RequestSLO) -> GoodputReport:
         goodput_rps=attained / makespan,
         ttft_violations=ttft_violations,
         tbt_violations=tbt_violations,
+    )
+
+
+@dataclass(frozen=True)
+class FleetGoodput:
+    """SLO attainment of a fleet run, charged for overload drops.
+
+    Unlike :class:`GoodputReport` (which scores finished requests), the
+    fleet view divides by every request *offered* to the fleet — a shed
+    or still-unfinished request counts against attainment, so an
+    operator cannot improve the score by dropping hard requests.
+    """
+
+    num_offered: int
+    num_finished: int
+    num_shed: int
+    num_attained: int
+    goodput_rps: float
+    ttft_violations: int
+    tbt_violations: int
+    num_failovers: int
+    num_restarts: int
+
+    @property
+    def attainment(self) -> float:
+        if self.num_offered == 0:
+            return 0.0
+        return self.num_attained / self.num_offered
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.num_offered == 0:
+            return 0.0
+        return self.num_shed / self.num_offered
+
+
+def fleet_goodput(result: "FleetResult", slo: RequestSLO) -> FleetGoodput:
+    """Score a fleet run: attained / offered, shed charged against it."""
+    attained = 0
+    ttft_violations = 0
+    tbt_violations = 0
+    for request in result.finished_requests:
+        ok = True
+        if request.ttft is None or request.ttft > slo.ttft_deadline:
+            ttft_violations += 1
+            ok = False
+        if any(gap > slo.tbt_deadline for gap in request.tbt_samples):
+            tbt_violations += 1
+            ok = False
+        if ok:
+            attained += 1
+    makespan = result.makespan if result.makespan > 0 else 1.0
+    return FleetGoodput(
+        num_offered=len(result.requests),
+        num_finished=len(result.finished_requests),
+        num_shed=result.num_shed,
+        num_attained=attained,
+        goodput_rps=attained / makespan,
+        ttft_violations=ttft_violations,
+        tbt_violations=tbt_violations,
+        num_failovers=result.num_failovers,
+        num_restarts=result.num_restarts,
     )

@@ -23,7 +23,7 @@ from collections import deque
 
 from repro.batch import Batch, ScheduledWork
 from repro.memory.block_manager import MemoryManager
-from repro.types import Request, RequestPhase
+from repro.types import PreemptionMode, Request, RequestPhase
 
 DEFAULT_MAX_BATCH_SIZE = 128
 
@@ -51,9 +51,8 @@ class Scheduler(abc.ABC):
         """
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
-        if preemption_mode not in ("recompute", "swap"):
-            raise ValueError(f"unknown preemption_mode {preemption_mode!r}")
-        if preemption_mode == "swap" and kv_bytes_per_token <= 0:
+        preemption_mode = PreemptionMode.parse(preemption_mode)
+        if preemption_mode is PreemptionMode.SWAP and kv_bytes_per_token <= 0:
             raise ValueError("swap mode needs kv_bytes_per_token > 0")
         self.memory = memory
         self.max_batch_size = max_batch_size
@@ -185,7 +184,7 @@ class Scheduler(abc.ABC):
         return True
 
     def _evict(self, victim: Request, force_recompute: bool = False) -> None:
-        if self.preemption_mode == "swap" and not force_recompute:
+        if self.preemption_mode is PreemptionMode.SWAP and not force_recompute:
             self._swap_out(victim)
             return
         self.memory.free(victim)

@@ -1,5 +1,6 @@
 """Telemetry export (§4.4's "extensive telemetry system")."""
 
+from repro.telemetry.fleet import fleet_rows, replica_utilization_rows
 from repro.telemetry.recorder import (
     iteration_rows,
     read_csv,
@@ -14,6 +15,8 @@ __all__ = [
     "iteration_rows",
     "request_rows",
     "run_counters",
+    "fleet_rows",
+    "replica_utilization_rows",
     "write_jsonl",
     "read_jsonl",
     "write_csv",

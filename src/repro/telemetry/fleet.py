@@ -1,0 +1,89 @@
+"""Fleet-level telemetry: control-plane decisions and replica timelines.
+
+Extends the per-run tables in :mod:`repro.telemetry.recorder` to the
+fleet simulator: one row per routing/rejection/failover/fault decision
+(the control-plane log a production gateway would emit) and a
+per-replica utilization timeline (how busy each replica's GPU was over
+bucketed wall-clock windows — the view that makes load imbalance and
+crash gaps visible at a glance).  All rows are plain dicts compatible
+with ``write_jsonl``/``write_csv``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.cluster.fleet import FleetResult
+
+Row = dict[str, Any]
+
+
+def fleet_rows(result: "FleetResult") -> list[Row]:
+    """One row per fleet control-plane event, in decision order."""
+    return [
+        {
+            "time": event.time,
+            "kind": event.kind,
+            "request_id": event.request_id,
+            "replica": event.replica,
+            "attempt": event.attempt,
+            "reason": event.reason,
+            "queue_depth": event.queue_depth,
+            "outstanding_tokens": event.outstanding_tokens,
+            "retry_at": event.retry_at,
+        }
+        for event in result.events
+    ]
+
+
+def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping [start, end) intervals."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def replica_utilization_rows(result: "FleetResult", bucket: float = 1.0) -> list[Row]:
+    """Per-replica busy fraction over ``bucket``-second windows.
+
+    A replica counts as busy while any of its pipeline stages is
+    executing (union over its iteration records), so with pipeline
+    parallelism this is "replica doing anything", not per-stage
+    utilization.  Windows span ``[0, makespan)``; a crashed replica
+    reads as zero through its downtime because its in-flight records
+    were discarded at the crash.
+    """
+    if bucket <= 0:
+        raise ValueError(f"bucket must be positive, got {bucket}")
+    horizon = result.makespan
+    num_buckets = max(1, int(horizon / bucket) + (1 if horizon % bucket else 0))
+    rows: list[Row] = []
+    for replica, replica_result in enumerate(result.replica_results):
+        busy = _merge_intervals(
+            [(r.start, r.end) for r in replica_result.records]
+        )
+        starts = [r.start for r in replica_result.records]
+        for i in range(num_buckets):
+            lo, hi = i * bucket, min((i + 1) * bucket, horizon)
+            width = hi - lo
+            if width <= 0:
+                continue
+            busy_time = sum(
+                max(0.0, min(end, hi) - max(start, lo)) for start, end in busy
+            )
+            rows.append(
+                {
+                    "replica": replica,
+                    "bucket_start": lo,
+                    "bucket_end": hi,
+                    "busy_fraction": busy_time / width,
+                    "num_iterations_started": sum(1 for s in starts if lo <= s < hi),
+                }
+            )
+    return rows

@@ -38,6 +38,31 @@ class SchedulerKind(enum.Enum):
     HYBRID_ONLY = "hybrid_batching_only"
 
 
+class PreemptionMode(str, enum.Enum):
+    """What eviction does to a preempted request's KV cache.
+
+    ``RECOMPUTE`` frees the cache and re-prefills from scratch (vLLM's
+    default); ``SWAP`` parks it in host memory and pays PCIe transfers
+    instead.  The ``str`` mixin keeps the enum comparable and
+    serializable as its plain string value, so existing call sites that
+    pass ``"recompute"``/``"swap"`` keep working unchanged.
+    """
+
+    RECOMPUTE = "recompute"
+    SWAP = "swap"
+
+    @classmethod
+    def parse(cls, value: "PreemptionMode | str") -> "PreemptionMode":
+        """Coerce a string (or enum) into a mode, with a naming error."""
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(repr(mode.value) for mode in cls)
+            raise ValueError(
+                f"unknown preemption_mode {value!r}; choose one of {choices}"
+            ) from None
+
+
 _request_ids = itertools.count()
 
 

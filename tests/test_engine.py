@@ -258,11 +258,10 @@ class TestEngineConfigValidation:
             )
 
     def test_invalid_preemption_mode_via_api(self, tiny_deployment):
-        from repro.api import build_scheduler, ServingConfig
+        from repro.api import ServingConfig
         from repro.types import SchedulerKind
 
-        config = ServingConfig(
-            scheduler=SchedulerKind.VLLM, preemption_mode="teleport"
-        )
+        # Validation moved to construction time: the typo fails where
+        # it was written, not inside build_scheduler.
         with pytest.raises(ValueError, match="preemption_mode"):
-            build_scheduler(tiny_deployment, config)
+            ServingConfig(scheduler=SchedulerKind.VLLM, preemption_mode="teleport")

@@ -1,0 +1,130 @@
+"""Property tests: request conservation under arbitrary fault schedules.
+
+The invariant the fleet simulator must never break: whatever the fault
+schedule, admission bound or router, every offered request is either
+finished exactly once or explicitly shed — never lost, never
+double-finished, and never finished with the wrong number of tokens.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Deployment, ServingConfig
+from repro.cluster.fleet import (
+    AdmissionPolicy,
+    FaultSchedule,
+    FleetConfig,
+    FleetSimulator,
+    ReplicaFault,
+)
+from repro.cluster.router import LeastOutstandingTokensRouter, RoundRobinRouter
+from repro.hardware.catalog import A100_80G
+from repro.models.catalog import TINY_1B
+
+from tests.conftest import make_request
+
+_DEPLOYMENT = Deployment(model=TINY_1B, gpu=A100_80G)
+_CONFIG = ServingConfig()
+
+
+def _quantize(value: float) -> float:
+    """Coarse time grid keeps fault instants reproducible in reports."""
+    return round(value, 3)
+
+
+@st.composite
+def fault_schedules(draw, num_replicas: int):
+    faults = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        replica = draw(st.integers(min_value=0, max_value=num_replicas - 1))
+        down_at = _quantize(draw(st.floats(min_value=0.0, max_value=0.8)))
+        if draw(st.booleans()):
+            up_at = _quantize(down_at + draw(st.floats(min_value=0.05, max_value=0.5)))
+        else:
+            up_at = None
+        faults.append(ReplicaFault(replica, down_at, up_at))
+    return FaultSchedule(tuple(faults))
+
+
+@st.composite
+def fleet_scenarios(draw):
+    num_replicas = draw(st.integers(min_value=1, max_value=3))
+    schedule = draw(fault_schedules(num_replicas))
+    max_queue_depth = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=3)))
+    admission = draw(st.sampled_from(list(AdmissionPolicy)))
+    round_robin = draw(st.booleans())
+    num_requests = draw(st.integers(min_value=1, max_value=10))
+    gap = _quantize(draw(st.floats(min_value=0.0, max_value=0.05)))
+    return (
+        FleetConfig(
+            num_replicas=num_replicas,
+            faults=schedule,
+            max_queue_depth=max_queue_depth,
+            admission=admission,
+            max_retries=2,
+        ),
+        round_robin,
+        num_requests,
+        gap,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario=fleet_scenarios())
+def test_no_request_lost_or_double_finished(scenario):
+    fleet_config, round_robin, num_requests, gap = scenario
+    trace = [
+        make_request(prompt_len=600, output_len=5, arrival_time=gap * i)
+        for i in range(num_requests)
+    ]
+    router = (
+        RoundRobinRouter(fleet_config.num_replicas)
+        if round_robin
+        else LeastOutstandingTokensRouter(fleet_config.num_replicas)
+    )
+    simulator = FleetSimulator(_DEPLOYMENT, _CONFIG, fleet_config, router=router)
+    result = simulator.run(trace)
+
+    # Conservation: finished XOR shed, nothing lost.
+    assert not result.lost_requests()
+    shed_ids = {r.request_id for r in result.shed}
+    for request in result.requests:
+        assert request.is_finished != (request.request_id in shed_ids)
+
+    # No double-finish / over-emission: a finished request emitted its
+    # output exactly once, monotone token times, regardless of how many
+    # failover restarts it survived.
+    for request in result.requests:
+        assert request.num_emitted <= request.output_len
+        if request.is_finished:
+            assert request.num_emitted == request.output_len
+            assert len(request.token_times) == request.output_len
+            assert request.token_times == sorted(request.token_times)
+            assert request.finished_at == request.token_times[-1]
+
+    # Each request was delivered to at most one replica at a time:
+    # across all replica incarnations, a request id appears in at most
+    # one *live* engine's pool, and each finish is recorded once.
+    finished_ids = [
+        r.request_id
+        for replica_result in result.replica_results
+        for r in replica_result.requests
+        if r.is_finished
+    ]
+    assert len(finished_ids) == len(set(finished_ids))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rate=st.floats(min_value=0.01, max_value=2.0),
+)
+def test_poisson_schedules_are_valid_and_deterministic(seed, rate):
+    a = FaultSchedule.poisson(3, rate=rate, mean_downtime=0.5, horizon=5.0, seed=seed)
+    b = FaultSchedule.poisson(3, rate=rate, mean_downtime=0.5, horizon=5.0, seed=seed)
+    assert a == b
+    a.validate(3)
+    for fault in a.faults:
+        assert fault.down_at < 5.0
+        assert fault.up_at is None or fault.up_at > fault.down_at
