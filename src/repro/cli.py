@@ -10,6 +10,7 @@ Examples::
     python -m repro budget --model llama2-70b --gpu a40-48gb --tp 4 --pp 2
     python -m repro fleet --replicas 4 --qps 4.0 --fault-rate 0.02 \
         --router slo-aware --max-queue-depth 64
+    python -m repro reproduce fig10 --scale smoke --jobs 4 --cache-dir .perf-cache
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from __future__ import annotations
 import argparse
 
 from repro.api import Deployment, ServingConfig, simulate
-from repro.experiments.capacity_runner import measure_capacity, serving_config_for
+from repro.experiments.capacity_runner import serving_config_for
 from repro.experiments.common import Scale, perf_cache_from_env
 from repro.hardware.catalog import ETHERNET_100G, get_gpu
 from repro.metrics.slo import derived_slo
@@ -52,6 +53,21 @@ def _add_perf_cache_arg(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="memoize execution-model pricing (bit-identical results; "
         "default on, or REPRO_PERF_CACHE)",
+    )
+
+
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep fan-out (default 1, or REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent perf cache; warm-starts "
+        "repeat runs (default off, or REPRO_CACHE_DIR)",
     )
 
 
@@ -121,7 +137,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         from repro.experiments.common import scale_from_env
         from repro.experiments.registry import reproduce_figure
 
-        print(reproduce_figure("fleet", scale_from_env()))
+        print(
+            reproduce_figure(
+                "fleet", scale_from_env(), jobs=args.jobs, cache_dir=args.cache_dir
+            )
+        )
         return 0
 
     deployment = _deployment_from(args)
@@ -178,6 +198,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.experiments.capacity_runner import CapacityCellSpec, run_capacity_cells
+
     deployment = _deployment_from(args)
     dataset = get_dataset(args.dataset)
     strict = args.slo == "strict"
@@ -193,10 +215,28 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     )
     print(f"searching capacity for {deployment.label} / {scheduler.value} on "
           f"{dataset.name} under {slo.name} SLO (P99 TBT <= {slo.p99_tbt:.3f} s)…")
-    result = measure_capacity(
-        deployment, scheduler, dataset, slo, scale, config=config, qps_hint=args.qps_hint
+    spec = CapacityCellSpec(
+        deployment=deployment,
+        scheduler=scheduler,
+        dataset=dataset,
+        scale=scale,
+        config=config,
+        slo=slo,
+        qps_hint=args.qps_hint,
     )
-    print(f"capacity: {result.capacity_qps:.2f} qps ({result.num_probes} probes)")
+    outcome = run_capacity_cells([spec], jobs=args.jobs, cache_dir=args.cache_dir)[0]
+    cell = outcome.cell
+    print(
+        f"capacity: {cell.capacity_qps:.2f} qps "
+        f"({cell.num_probes} probes: {outcome.num_bracket_probes} bracket + "
+        f"{outcome.num_bisect_probes} bisect; {outcome.seconds:.1f}s)"
+    )
+    if args.cache_dir:
+        print(
+            f"perf cache: {outcome.cache_source} start "
+            f"({outcome.loaded_entries} entries loaded, "
+            f"{outcome.merged_entries} merged back)"
+        )
     return 0
 
 
@@ -252,7 +292,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             print(f"  {entry.figure_id:8s} {entry.title}{tag}")
         return 0
     scale = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}[args.scale]
-    print(reproduce_figure(args.figure, scale))
+    print(reproduce_figure(args.figure, scale, jobs=args.jobs, cache_dir=args.cache_dir))
     return 0
 
 
@@ -309,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="what happens when the routed replica's queue is full")
     fleet.add_argument("--sweep", action="store_true",
                        help="run the replicas × faults × load sweep instead")
+    _add_sweep_args(fleet)
     _add_perf_cache_arg(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
@@ -321,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     cap.add_argument("--requests", type=int, default=128)
     cap.add_argument("--probes", type=int, default=12)
     cap.add_argument("--qps-hint", type=float, default=1.0)
+    _add_sweep_args(cap)
     _add_perf_cache_arg(cap)
     cap.set_defaults(func=_cmd_capacity)
 
@@ -353,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--scale", choices=["smoke", "default", "full"], default="smoke"
     )
+    _add_sweep_args(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
     return parser
 

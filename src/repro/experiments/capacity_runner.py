@@ -6,11 +6,23 @@ QPS.  SLOs are derived from the substrate's own reference decode
 latency (5×/25×, §5.1) so strictness is self-consistent with the
 simulator's calibration; token budgets follow the paper's choices
 (512 strict / 2048 relaxed / 1536 for LLaMA2-70B relaxed).
+
+Grids run through the sweep engine (:mod:`repro.runtime`): cells are
+described by picklable :class:`CapacityCellSpec`\\ s, fanned out across
+worker processes, and **warm-started** — each neighbourhood of cells
+(same deployment and dataset by default) runs one anchor cell first,
+then seeds every remaining cell's bracket with the anchor's measured
+capacity.  The two-wave plan is a pure function of the spec list, and
+every cell is a pure function of its spec, so the grid's output is
+bit-identical at any ``--jobs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.api import Deployment, ServingConfig, execution_model_for, simulate
 from repro.experiments.common import (
@@ -22,6 +34,9 @@ from repro.experiments.common import (
 )
 from repro.metrics.capacity import CapacityResult, find_capacity
 from repro.metrics.slo import SLOSpec, derived_slo
+from repro.perf.cache import CachedExecutionModel
+from repro.runtime import map_tasks, persist_execution_model, shared_execution_model
+from repro.telemetry.sweep import capacity_probe_rows
 from repro.types import SchedulerKind
 from repro.workload.datasets import DatasetSpec, generate_requests
 
@@ -57,7 +72,16 @@ def serving_config_for(
     perf_cache: bool | None = None,
 ) -> ServingConfig:
     """A scheduler's serving config for one SLO regime."""
-    budget = token_budget or token_budget_for(deployment, strict)
+    if token_budget is None:
+        budget = token_budget_for(deployment, strict)
+    elif token_budget <= 0:
+        # An explicit 0 used to silently fall back to the regime default
+        # (`token_budget or ...`); fail loudly instead.
+        raise ValueError(
+            f"token_budget must be positive or None, got {token_budget}"
+        )
+    else:
+        budget = token_budget
     reserve_len = 16384  # worst-case sequence across both datasets
     if perf_cache is None:
         perf_cache = perf_cache_from_env()
@@ -116,10 +140,9 @@ def measure_capacity(
     return find_capacity(
         run_at_qps,
         slo,
-        qps_lo=qps_hint / 4,
-        qps_hi=qps_hint,
         rel_tol=scale.capacity_rel_tol,
         max_probes=scale.capacity_max_probes,
+        qps_hint=qps_hint,
     )
 
 
@@ -131,7 +154,11 @@ def capacity_cell(
     scale: Scale,
     qps_hint: float = 0.5,
 ) -> CapacityCell:
-    """Convenience wrapper returning a flat result row."""
+    """Convenience wrapper returning a flat result row.
+
+    This is the legacy serial path — one fresh, cold execution model
+    per cell.  Grids should go through :func:`run_capacity_cells`.
+    """
     slo = derived_slo(deployment.execution_model(), strict)
     result = measure_capacity(
         deployment, scheduler, dataset, slo, scale, strict=strict, qps_hint=qps_hint
@@ -145,3 +172,211 @@ def capacity_cell(
         capacity_qps=result.capacity_qps,
         num_probes=result.num_probes,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-engine grid execution
+# ----------------------------------------------------------------------
+# Warm-start hints below this are considered degenerate (an anchor that
+# measured ~zero capacity says nothing useful about its neighbours).
+MIN_WARM_HINT = 1e-3
+
+
+@dataclass(frozen=True)
+class CapacityCellSpec:
+    """Everything one grid cell needs, picklable for worker processes.
+
+    Either ``strict`` (SLO and config derived the §5.1 way) or both
+    ``config`` and ``slo`` (explicit, e.g. Fig. 12's variants) must be
+    given.  ``group`` names the warm-start neighbourhood — cells with
+    equal groups seed each other; it defaults to (deployment, dataset).
+    ``variant`` is a display name for figures that label cells by
+    something other than the scheduler.
+    """
+
+    deployment: Deployment
+    scheduler: SchedulerKind
+    dataset: DatasetSpec
+    scale: Scale
+    strict: bool | None = None
+    config: ServingConfig | None = None
+    slo: SLOSpec | None = None
+    qps_hint: float = 0.5
+    group: tuple[str, ...] = ()
+    variant: str | None = None
+    hinted: bool = False  # set by the wave planner, not by callers
+
+    def __post_init__(self) -> None:
+        if self.strict is None and (self.config is None or self.slo is None):
+            raise ValueError("pass strict, or both config and slo")
+        if self.qps_hint <= 0:
+            raise ValueError(f"qps_hint must be positive, got {self.qps_hint}")
+
+    @property
+    def group_key(self) -> tuple[str, ...]:
+        if self.group:
+            return self.group
+        return (self.deployment.label, self.dataset.name)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed grid cell: its figure row plus telemetry."""
+
+    cell: CapacityCell
+    variant: str | None
+    qps_hint: float
+    hinted: bool
+    num_bracket_probes: int
+    num_bisect_probes: int
+    seconds: float
+    worker_pid: int
+    cache_source: str
+    loaded_entries: int
+    merged_entries: int
+    probe_rows: list[dict[str, Any]] = field(default_factory=list)
+    cache_row: dict[str, Any] = field(default_factory=dict)
+
+
+def run_capacity_cell(spec: CapacityCellSpec) -> CellOutcome:
+    """Execute one cell (module-level: the sweep engine pickles this).
+
+    The execution model comes from the runtime's per-process registry —
+    warm from the persistent disk cache and from every cell this
+    process already ran — and new entries are merged back afterwards.
+    """
+    deployment = spec.deployment
+    config = spec.config
+    if config is None:
+        config = serving_config_for(deployment, spec.scheduler, spec.strict)
+    slo = spec.slo
+    if slo is None:
+        slo = derived_slo(deployment.execution_model(), spec.strict)
+
+    lease = shared_execution_model(deployment, config)
+    cached = isinstance(lease.exec_model, CachedExecutionModel)
+    stats_before = lease.exec_model.cache_stats if cached else None
+
+    start = time.perf_counter()
+    result = measure_capacity(
+        deployment,
+        spec.scheduler,
+        spec.dataset,
+        slo,
+        spec.scale,
+        config=config,
+        qps_hint=spec.qps_hint,
+        exec_model=lease.exec_model,
+    )
+    seconds = time.perf_counter() - start
+    merged = persist_execution_model(lease.exec_model)
+
+    cache_row: dict[str, Any] = {}
+    if cached:
+        after = lease.exec_model.cache_stats
+        # Per-cell deltas: the model is shared across cells, so the raw
+        # counters are cumulative over this worker's lifetime.
+        cache_row = {
+            "cache_hits": after.hits - stats_before.hits,
+            "cache_misses": after.misses - stats_before.misses,
+            "cache_work_hits": after.work_hits - stats_before.work_hits,
+            "cache_work_misses": after.work_misses - stats_before.work_misses,
+        }
+
+    labels = {
+        "deployment": deployment.label,
+        "scheduler": spec.scheduler.value,
+        "dataset": spec.dataset.name,
+        "slo": slo.name,
+        "variant": spec.variant,
+    }
+    return CellOutcome(
+        cell=CapacityCell(
+            deployment=deployment.label,
+            scheduler=spec.scheduler.value,
+            dataset=spec.dataset.name,
+            slo_name=slo.name,
+            slo_p99_tbt=slo.p99_tbt,
+            capacity_qps=result.capacity_qps,
+            num_probes=result.num_probes,
+        ),
+        variant=spec.variant,
+        qps_hint=spec.qps_hint,
+        hinted=spec.hinted,
+        num_bracket_probes=result.num_bracket_probes,
+        num_bisect_probes=result.num_bisect_probes,
+        seconds=seconds,
+        worker_pid=os.getpid(),
+        cache_source=lease.source,
+        loaded_entries=lease.loaded_entries,
+        merged_entries=merged,
+        probe_rows=capacity_probe_rows(result, **labels),
+        cache_row=cache_row,
+    )
+
+
+def plan_waves(
+    specs: list[CapacityCellSpec],
+) -> tuple[list[tuple[int, CapacityCellSpec]], list[int]]:
+    """Split a grid into (anchor wave, follower indices).
+
+    The first cell of each warm-start group — first in the caller's
+    canonical order — anchors the group; everything else follows,
+    hinted by its anchor's measured capacity.  A pure function of the
+    spec list, so serial and parallel runs execute the same plan.
+    """
+    anchors: list[tuple[int, CapacityCellSpec]] = []
+    followers: list[int] = []
+    seen: set[tuple[str, ...]] = set()
+    for index, spec in enumerate(specs):
+        key = spec.group_key
+        if key in seen:
+            followers.append(index)
+        else:
+            seen.add(key)
+            anchors.append((index, spec))
+    return anchors, followers
+
+
+def run_capacity_cells(
+    specs: list[CapacityCellSpec],
+    jobs: int | None = None,
+    cache_dir=None,
+) -> list[CellOutcome]:
+    """Run a capacity grid through the sweep engine, warm-started.
+
+    Wave 0 runs one anchor cell per warm-start group in parallel; each
+    remaining cell then runs with its bracket seeded by its group
+    anchor's measured capacity (falling back to the spec's static hint
+    when the anchor found no capacity).  Outcomes come back in the
+    order of ``specs`` regardless of ``jobs``.
+    """
+    anchors, followers = plan_waves(specs)
+    outcomes: list[CellOutcome | None] = [None] * len(specs)
+
+    # Wave 0: anchors, with their static hints.
+    report = map_tasks(
+        run_capacity_cell, [spec for _, spec in anchors], jobs=jobs, cache_dir=cache_dir
+    )
+    hint_by_group: dict[tuple[str, ...], float] = {}
+    for (index, spec), outcome in zip(anchors, report.outcomes):
+        outcomes[index] = outcome.value
+        if outcome.value.cell.capacity_qps > MIN_WARM_HINT:
+            hint_by_group[spec.group_key] = outcome.value.cell.capacity_qps
+
+    # Wave 1: everything else, hinted by its group's anchor.
+    if followers:
+        hinted_specs = []
+        for index in followers:
+            spec = specs[index]
+            hint = hint_by_group.get(spec.group_key)
+            if hint is not None:
+                spec = replace(spec, qps_hint=hint, hinted=True)
+            hinted_specs.append(spec)
+        report = map_tasks(
+            run_capacity_cell, hinted_specs, jobs=jobs, cache_dir=cache_dir
+        )
+        for index, outcome in zip(followers, report.outcomes):
+            outcomes[index] = outcome.value
+
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -9,7 +9,11 @@ under strict SLOs and on the long-prompt arxiv workload.
 from __future__ import annotations
 
 from repro.api import Deployment
-from repro.experiments.capacity_runner import CapacityCell, capacity_cell
+from repro.experiments.capacity_runner import (
+    CapacityCell,
+    CapacityCellSpec,
+    run_capacity_cells,
+)
 from repro.experiments.common import DEFAULT, Scale, mistral_deployment, yi_deployment
 from repro.types import SchedulerKind
 from repro.workload.datasets import ARXIV_SUMMARIZATION, SHAREGPT4, DatasetSpec
@@ -21,6 +25,8 @@ CAPACITY_SCHEDULERS = (
 )
 
 # Search hints keep probe counts low; searches expand beyond them.
+# Only each (deployment, dataset) group's first cell uses the static
+# hint — every later cell warm-starts from the group's measured anchor.
 _QPS_HINTS = {
     ("Mistral-7B", "openchat_sharegpt4"): 2.0,
     ("Mistral-7B", "arxiv_summarization"): 0.6,
@@ -29,28 +35,53 @@ _QPS_HINTS = {
 }
 
 
+def capacity_grid_specs(
+    scale: Scale,
+    deployments: tuple[Deployment, ...],
+    datasets: tuple[DatasetSpec, ...],
+    schedulers: tuple[SchedulerKind, ...],
+    strict_values: tuple[bool, ...],
+    hints: dict[tuple[str, str], float] | None = None,
+    default_hint: float = 0.5,
+) -> list[CapacityCellSpec]:
+    """Canonically-ordered cell specs for a Fig. 10/11-shaped grid."""
+    hints = hints if hints is not None else _QPS_HINTS
+    specs = []
+    for deployment in deployments:
+        for dataset in datasets:
+            hint = hints.get((deployment.model.name, dataset.name), default_hint)
+            for strict in strict_values:
+                for scheduler in schedulers:
+                    specs.append(
+                        CapacityCellSpec(
+                            deployment=deployment,
+                            scheduler=scheduler,
+                            dataset=dataset,
+                            scale=scale,
+                            strict=strict,
+                            qps_hint=hint,
+                        )
+                    )
+    return specs
+
+
 def run_capacity_grid(
     scale: Scale = DEFAULT,
     deployments: tuple[Deployment, ...] | None = None,
     datasets: tuple[DatasetSpec, ...] = (SHAREGPT4, ARXIV_SUMMARIZATION),
     schedulers: tuple[SchedulerKind, ...] = CAPACITY_SCHEDULERS,
     strict_values: tuple[bool, ...] = (True, False),
+    jobs: int | None = None,
+    cache_dir=None,
 ) -> list[CapacityCell]:
-    """The full Fig. 10 grid (or any sub-grid)."""
+    """The full Fig. 10 grid (or any sub-grid), via the sweep engine."""
     if deployments is None:
         deployments = (mistral_deployment(), yi_deployment())
-    cells = []
-    for deployment in deployments:
-        for dataset in datasets:
-            hint = _QPS_HINTS.get((deployment.model.name, dataset.name), 0.5)
-            for strict in strict_values:
-                for scheduler in schedulers:
-                    cells.append(
-                        capacity_cell(
-                            deployment, scheduler, dataset, strict, scale, qps_hint=hint
-                        )
-                    )
-    return cells
+    specs = capacity_grid_specs(
+        scale, deployments, datasets, schedulers, strict_values
+    )
+    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [outcome.cell for outcome in outcomes]
 
 
 def sarathi_gain_over(cells: list[CapacityCell], baseline: str) -> dict[tuple, float]:

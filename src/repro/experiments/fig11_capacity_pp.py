@@ -9,14 +9,17 @@ top of avoiding generation stalls, so its gains are largest here
 from __future__ import annotations
 
 from repro.api import Deployment
-from repro.experiments.capacity_runner import CapacityCell, capacity_cell
+from repro.experiments.capacity_runner import CapacityCell, run_capacity_cells
 from repro.experiments.common import (
     DEFAULT,
     Scale,
     falcon_deployment,
     llama70_deployment,
 )
-from repro.experiments.fig10_capacity_small import CAPACITY_SCHEDULERS
+from repro.experiments.fig10_capacity_small import (
+    CAPACITY_SCHEDULERS,
+    capacity_grid_specs,
+)
 from repro.types import SchedulerKind
 from repro.workload.datasets import ARXIV_SUMMARIZATION, SHAREGPT4, DatasetSpec
 
@@ -34,19 +37,20 @@ def run_capacity_grid_pp(
     datasets: tuple[DatasetSpec, ...] = (SHAREGPT4, ARXIV_SUMMARIZATION),
     schedulers: tuple[SchedulerKind, ...] = CAPACITY_SCHEDULERS,
     strict_values: tuple[bool, ...] = (True, False),
+    jobs: int | None = None,
+    cache_dir=None,
 ) -> list[CapacityCell]:
     """The Fig. 11 grid for pipeline-parallel models."""
     if deployments is None:
         deployments = (llama70_deployment(), falcon_deployment())
-    cells = []
-    for deployment in deployments:
-        for dataset in datasets:
-            hint = _QPS_HINTS.get((deployment.model.name, dataset.name), 0.3)
-            for strict in strict_values:
-                for scheduler in schedulers:
-                    cells.append(
-                        capacity_cell(
-                            deployment, scheduler, dataset, strict, scale, qps_hint=hint
-                        )
-                    )
-    return cells
+    specs = capacity_grid_specs(
+        scale,
+        deployments,
+        datasets,
+        schedulers,
+        strict_values,
+        hints=_QPS_HINTS,
+        default_hint=0.3,
+    )
+    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [outcome.cell for outcome in outcomes]

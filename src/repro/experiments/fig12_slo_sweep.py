@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import Deployment, ServingConfig
-from repro.experiments.capacity_runner import measure_capacity
+from repro.experiments.capacity_runner import CapacityCellSpec, run_capacity_cells
 from repro.experiments.common import DEFAULT, Scale, mistral_deployment
 from repro.metrics.slo import SLOSpec
 from repro.perf.profiler import reference_decode_time
@@ -57,28 +57,41 @@ def run_slo_sweep(
     dataset: DatasetSpec = SHAREGPT4,
     slo_multipliers: tuple[float, ...] = SLO_MULTIPLIERS,
     qps_hint: float = 3.0,
+    jobs: int | None = None,
+    cache_dir=None,
 ) -> list[SweepPoint]:
-    """Capacity vs SLO for every Fig. 12 variant."""
+    """Capacity vs SLO for every Fig. 12 variant.
+
+    Warm-start groups are per variant: each variant's first (strictest)
+    SLO anchors, and its measured capacity seeds the same variant's
+    searches at every other SLO value.
+    """
     deployment = deployment or mistral_deployment()
     reference = reference_decode_time(deployment.execution_model())
-    points = []
+    variants = sweep_variants(deployment)
+    specs = []
     for multiplier in slo_multipliers:
         slo = SLOSpec(name=f"{multiplier:g}x", p99_tbt=multiplier * reference)
-        for variant, config in sweep_variants(deployment).items():
-            result = measure_capacity(
-                deployment,
-                config.scheduler,
-                dataset,
-                slo,
-                scale,
-                config=config,
-                qps_hint=qps_hint,
-            )
-            points.append(
-                SweepPoint(
+        for variant, config in variants.items():
+            specs.append(
+                CapacityCellSpec(
+                    deployment=deployment,
+                    scheduler=config.scheduler,
+                    dataset=dataset,
+                    scale=scale,
+                    config=config,
+                    slo=slo,
+                    qps_hint=qps_hint,
+                    group=(variant,),
                     variant=variant,
-                    slo_p99_tbt=slo.p99_tbt,
-                    capacity_qps=result.capacity_qps,
                 )
             )
-    return points
+    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [
+        SweepPoint(
+            variant=outcome.variant,
+            slo_p99_tbt=outcome.cell.slo_p99_tbt,
+            capacity_qps=outcome.cell.capacity_qps,
+        )
+        for outcome in outcomes
+    ]

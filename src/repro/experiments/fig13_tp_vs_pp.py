@@ -15,7 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import Deployment
-from repro.experiments.capacity_runner import measure_capacity, serving_config_for
+from repro.experiments.capacity_runner import (
+    CapacityCellSpec,
+    run_capacity_cells,
+    serving_config_for,
+)
 from repro.experiments.common import (
     DEFAULT,
     Scale,
@@ -79,8 +83,14 @@ class ParallelCapacityCell:
 def run_parallel_capacity(
     scale: Scale = DEFAULT,
     strict_values: tuple[bool, ...] = (True, False),
+    jobs: int | None = None,
+    cache_dir=None,
 ) -> list[ParallelCapacityCell]:
-    """Capacity of vLLM-TP8, vLLM-PP and Sarathi-PP (Fig. 13b)."""
+    """Capacity of vLLM-TP8, vLLM-PP and Sarathi-PP (Fig. 13b).
+
+    Warm-start groups are per system: a system's strict-SLO anchor
+    seeds its relaxed-SLO search.
+    """
     tp8 = falcon_tp8_cross_node_deployment()
     pp = falcon_deployment()
     systems: list[tuple[str, Deployment, SchedulerKind]] = [
@@ -88,25 +98,32 @@ def run_parallel_capacity(
         ("vllm-PP", pp, SchedulerKind.VLLM),
         ("sarathi-PP", pp, SchedulerKind.SARATHI),
     ]
-    cells = []
+    specs = []
     for strict in strict_values:
         # One SLO for all three systems, anchored on the *hybrid* layout
         # (the paper anchors SLOs per model, not per parallel layout).
         slo = derived_slo(pp.execution_model(), strict)
         for name, deployment, scheduler in systems:
             config = serving_config_for(deployment, scheduler, strict)
-            result = measure_capacity(
-                deployment,
-                scheduler,
-                SHAREGPT4,
-                slo,
-                scale,
-                config=config,
-                qps_hint=0.4,
-            )
-            cells.append(
-                ParallelCapacityCell(
-                    system=name, slo_name=slo.name, capacity_qps=result.capacity_qps
+            specs.append(
+                CapacityCellSpec(
+                    deployment=deployment,
+                    scheduler=scheduler,
+                    dataset=SHAREGPT4,
+                    scale=scale,
+                    config=config,
+                    slo=slo,
+                    qps_hint=0.4,
+                    group=(name,),
+                    variant=name,
                 )
             )
-    return cells
+    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [
+        ParallelCapacityCell(
+            system=outcome.variant,
+            slo_name=outcome.cell.slo_name,
+            capacity_qps=outcome.cell.capacity_qps,
+        )
+        for outcome in outcomes
+    ]

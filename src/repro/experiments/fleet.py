@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.api import ServingConfig, execution_model_for
+from repro.api import Deployment, ServingConfig, execution_model_for
 from repro.cluster.fleet import FaultSchedule, FleetConfig, FleetSimulator
 from repro.cluster.router import (
     FleetRouter,
@@ -28,6 +28,7 @@ from repro.experiments.common import Scale, mistral_deployment, perf_cache_from_
 from repro.metrics.goodput import RequestSLO, fleet_goodput
 from repro.metrics.slo import derived_slo
 from repro.metrics.summary import summarize
+from repro.runtime import map_tasks, persist_execution_model, shared_execution_model
 from repro.types import SchedulerKind
 from repro.workload.datasets import SHAREGPT4, generate_requests
 
@@ -72,6 +73,80 @@ def router_named(name: str, num_replicas: int, tbt_slo: float) -> FleetRouter:
     )
 
 
+@dataclass(frozen=True)
+class FleetPointSpec:
+    """One fleet operating point, picklable for the sweep engine."""
+
+    deployment: Deployment
+    config: ServingConfig
+    scale: Scale
+    num_replicas: int
+    qps: float
+    fault_rate: float
+    mean_downtime: float
+    router: str
+    tbt_deadline: float
+    ttft_deadline: float = DEFAULT_TTFT_DEADLINE
+
+
+def run_fleet_point(spec: FleetPointSpec) -> FleetSweepPoint:
+    """Simulate one fleet operating point (module-level: picklable).
+
+    The execution model comes from the runtime's per-process registry,
+    warm from the persistent disk cache when one is configured.
+    """
+    lease = shared_execution_model(spec.deployment, spec.config)
+    trace = generate_requests(
+        SHAREGPT4,
+        num_requests=spec.scale.num_requests,
+        qps=spec.qps,
+        seed=spec.scale.seed,
+    )
+    horizon = max(r.arrival_time for r in trace) + 30.0
+    fleet_config = FleetConfig(
+        num_replicas=spec.num_replicas,
+        faults=FaultSchedule.poisson(
+            spec.num_replicas,
+            rate=spec.fault_rate,
+            mean_downtime=spec.mean_downtime,
+            horizon=horizon,
+            seed=spec.scale.seed,
+        ),
+        max_queue_depth=SWEEP_MAX_QUEUE_DEPTH,
+    )
+    simulator = FleetSimulator(
+        spec.deployment,
+        spec.config,
+        fleet_config,
+        router=router_named(spec.router, spec.num_replicas, spec.tbt_deadline),
+        exec_model=lease.exec_model,
+    )
+    result = simulator.run(trace)
+    persist_execution_model(lease.exec_model)
+    request_slo = RequestSLO(
+        ttft_deadline=spec.ttft_deadline, tbt_deadline=spec.tbt_deadline
+    )
+    report = fleet_goodput(result, request_slo)
+    p99_tbt = (
+        summarize(result.merged()).p99_tbt
+        if result.finished_requests
+        else float("inf")
+    )
+    return FleetSweepPoint(
+        num_replicas=spec.num_replicas,
+        qps=spec.qps,
+        fault_rate=spec.fault_rate,
+        num_offered=report.num_offered,
+        num_finished=report.num_finished,
+        num_shed=report.num_shed,
+        num_failovers=report.num_failovers,
+        num_restarts=report.num_restarts,
+        attainment=report.attainment,
+        goodput_rps=report.goodput_rps,
+        p99_tbt=p99_tbt,
+    )
+
+
 def run_fleet_sweep(
     scale: Scale,
     replica_counts: Sequence[int] = (1, 2, 4),
@@ -81,75 +156,38 @@ def run_fleet_sweep(
     mean_downtime: float = 5.0,
     router: str = "least-outstanding",
     perf_cache: bool | None = None,
+    jobs: int | None = None,
+    cache_dir=None,
 ) -> list[FleetSweepPoint]:
     """Sweep the fleet grid and score each point's goodput.
 
     ``fault_rates`` are crashes per replica-second (Poisson, seeded by
     ``scale.seed``); load is ``load_factor * qps_per_replica *
     num_replicas`` so each replica sees comparable pressure across
-    fleet sizes.  One warm execution model is shared across the whole
-    sweep — every point prices the same deployment.
+    fleet sizes.  Points fan out through the sweep engine; every point
+    prices the same deployment, so they all share one warm execution
+    model per process (and the persistent disk cache across runs).
     """
     deployment = mistral_deployment()
     if perf_cache is None:
         perf_cache = perf_cache_from_env()
     config = ServingConfig(scheduler=SchedulerKind.SARATHI, perf_cache=perf_cache)
-    exec_model = execution_model_for(deployment, config)
-    slo = derived_slo(exec_model, strict=False)
-    request_slo = RequestSLO(
-        ttft_deadline=DEFAULT_TTFT_DEADLINE, tbt_deadline=slo.p99_tbt
-    )
+    slo = derived_slo(execution_model_for(deployment, config), strict=False)
 
-    points: list[FleetSweepPoint] = []
-    for num_replicas in replica_counts:
-        for load in load_factors:
-            qps = load * qps_per_replica * num_replicas
-            trace = generate_requests(
-                SHAREGPT4,
-                num_requests=scale.num_requests,
-                qps=qps,
-                seed=scale.seed,
-            )
-            horizon = max(r.arrival_time for r in trace) + 30.0
-            for fault_rate in fault_rates:
-                fleet_config = FleetConfig(
-                    num_replicas=num_replicas,
-                    faults=FaultSchedule.poisson(
-                        num_replicas,
-                        rate=fault_rate,
-                        mean_downtime=mean_downtime,
-                        horizon=horizon,
-                        seed=scale.seed,
-                    ),
-                    max_queue_depth=SWEEP_MAX_QUEUE_DEPTH,
-                )
-                simulator = FleetSimulator(
-                    deployment,
-                    config,
-                    fleet_config,
-                    router=router_named(router, num_replicas, slo.p99_tbt),
-                    exec_model=exec_model,
-                )
-                result = simulator.run(trace)
-                report = fleet_goodput(result, request_slo)
-                p99_tbt = (
-                    summarize(result.merged()).p99_tbt
-                    if result.finished_requests
-                    else float("inf")
-                )
-                points.append(
-                    FleetSweepPoint(
-                        num_replicas=num_replicas,
-                        qps=qps,
-                        fault_rate=fault_rate,
-                        num_offered=report.num_offered,
-                        num_finished=report.num_finished,
-                        num_shed=report.num_shed,
-                        num_failovers=report.num_failovers,
-                        num_restarts=report.num_restarts,
-                        attainment=report.attainment,
-                        goodput_rps=report.goodput_rps,
-                        p99_tbt=p99_tbt,
-                    )
-                )
-    return points
+    specs = [
+        FleetPointSpec(
+            deployment=deployment,
+            config=config,
+            scale=scale,
+            num_replicas=num_replicas,
+            qps=load * qps_per_replica * num_replicas,
+            fault_rate=fault_rate,
+            mean_downtime=mean_downtime,
+            router=router,
+            tbt_deadline=slo.p99_tbt,
+        )
+        for num_replicas in replica_counts
+        for load in load_factors
+        for fault_rate in fault_rates
+    ]
+    return map_tasks(run_fleet_point, specs, jobs=jobs, cache_dir=cache_dir).values

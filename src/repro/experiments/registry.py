@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.experiments.common import DEFAULT, Scale, format_table
+from repro.runtime import sweep_env
 
 Table = tuple[list[str], list[list[str]]]
 
@@ -250,12 +252,24 @@ def list_figures() -> list[FigureEntry]:
     return list(REGISTRY.values())
 
 
-def reproduce_figure(figure_id: str, scale: Scale = DEFAULT) -> str:
-    """Run one figure's experiment and render its table."""
+def reproduce_figure(
+    figure_id: str,
+    scale: Scale = DEFAULT,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> str:
+    """Run one figure's experiment and render its table.
+
+    ``jobs``/``cache_dir`` reach the figure's sweep through the
+    ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment (runners pick them up
+    via the sweep engine's defaults), so every registry entry keeps its
+    plain ``run(scale)`` signature.
+    """
     key = figure_id.lower()
     if key not in REGISTRY:
         known = ", ".join(sorted(REGISTRY))
         raise KeyError(f"unknown figure {figure_id!r}; known: {known}")
     entry = REGISTRY[key]
-    headers, rows = entry.run(scale)
+    with sweep_env(jobs=jobs, cache_dir=cache_dir):
+        headers, rows = entry.run(scale)
     return f"{entry.figure_id} — {entry.title}\n\n" + format_table(headers, rows)

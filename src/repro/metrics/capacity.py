@@ -5,6 +5,13 @@ grows the load geometrically until the SLO breaks, then bisects the
 bracketing interval to the requested relative tolerance.  Each probe
 is a full simulation at that QPS supplied by the caller, so the search
 is policy- and substrate-agnostic.
+
+The bracket can be seeded with a ``qps_hint`` — typically the measured
+capacity of an adjacent cell in a sweep grid (same deployment and
+dataset, neighbouring scheduler or SLO).  A good hint lands the true
+capacity inside the initial bracket, collapsing the growth phase to a
+probe or two; accounting splits probes into bracketing vs bisection so
+sweeps can measure exactly how much warm-starting saves.
 """
 
 from __future__ import annotations
@@ -17,14 +24,31 @@ from repro.metrics.summary import RunMetrics
 
 RunAtQPS = Callable[[float], RunMetrics]
 
+# Fallback bracket when no hint is supplied (matches the historical
+# qps_lo/qps_hi defaults of find_capacity).
+DEFAULT_QPS_LO = 0.05
+DEFAULT_QPS_HI = 4.0
+
 
 @dataclass
 class CapacityResult:
-    """Outcome of one capacity search."""
+    """Outcome of one capacity search.
+
+    ``probes`` records every simulation the search ran, in execution
+    order: the first ``num_bracket_probes`` established the feasible/
+    infeasible bracket, the remaining ``num_bisect_probes`` narrowed
+    it.  ``qps_hint`` is the bracket seed the search started from (None
+    when the caller passed explicit bounds) — comparing it with
+    ``num_bracket_probes`` across a sweep shows what warm-started
+    hints save.
+    """
 
     capacity_qps: float
     slo: SLOSpec
     probes: list[tuple[float, RunMetrics, bool]] = field(default_factory=list)
+    qps_hint: float | None = None
+    num_bracket_probes: int = 0
+    num_bisect_probes: int = 0
 
     @property
     def num_probes(self) -> int:
@@ -34,10 +58,11 @@ class CapacityResult:
 def find_capacity(
     run_at_qps: RunAtQPS,
     slo: SLOSpec,
-    qps_lo: float = 0.05,
-    qps_hi: float = 4.0,
+    qps_lo: float = DEFAULT_QPS_LO,
+    qps_hi: float = DEFAULT_QPS_HI,
     rel_tol: float = 0.10,
     max_probes: int = 20,
+    qps_hint: float | None = None,
 ) -> CapacityResult:
     """Largest QPS whose run meets ``slo``, to ``rel_tol`` accuracy.
 
@@ -45,16 +70,29 @@ def find_capacity(
     needed (halving below ``qps_lo`` until a feasible point is found,
     doubling above ``qps_hi`` while still feasible).  Returns 0.0 when
     even a trickle of load violates the SLO.
+
+    ``qps_hint`` — when given — overrides the explicit bounds with the
+    bracket ``[hint / 4, hint]``, the seeding sweep grids use to
+    warm-start one cell's search from a neighbour's result.
     """
+    if qps_hint is not None:
+        if qps_hint <= 0:
+            raise ValueError(f"qps_hint must be positive, got {qps_hint}")
+        qps_lo, qps_hi = qps_hint / 4.0, qps_hint
     if qps_lo <= 0 or qps_hi < qps_lo:
         raise ValueError("need 0 < qps_lo <= qps_hi")
-    result = CapacityResult(capacity_qps=0.0, slo=slo)
+    result = CapacityResult(capacity_qps=0.0, slo=slo, qps_hint=qps_hint)
 
     def probe(qps: float) -> bool:
         metrics = run_at_qps(qps)
         ok = metrics.meets(slo)
         result.probes.append((qps, metrics, ok))
         return ok
+
+    def finish(capacity: float) -> CapacityResult:
+        result.capacity_qps = capacity
+        result.num_bisect_probes = result.num_probes - result.num_bracket_probes
+        return result
 
     # Find a feasible lower end.
     lo = qps_lo
@@ -63,8 +101,8 @@ def find_capacity(
         lo /= 4.0
         attempts += 1
         if attempts >= 3:
-            result.capacity_qps = 0.0
-            return result
+            result.num_bracket_probes = result.num_probes
+            return finish(0.0)
 
     # Grow until infeasible (or give up and accept hi as capacity).
     hi = max(qps_hi, lo * 2)
@@ -72,8 +110,9 @@ def find_capacity(
         lo = hi
         hi *= 2.0
         if len(result.probes) >= max_probes:
-            result.capacity_qps = lo
-            return result
+            result.num_bracket_probes = result.num_probes
+            return finish(lo)
+    result.num_bracket_probes = result.num_probes
 
     # Bisect [lo feasible, hi infeasible].
     while hi - lo > rel_tol * lo and len(result.probes) < max_probes:
@@ -83,5 +122,4 @@ def find_capacity(
         else:
             hi = mid
 
-    result.capacity_qps = lo
-    return result
+    return finish(lo)

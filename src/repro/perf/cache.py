@@ -31,10 +31,17 @@ cache without limit; hit/miss/eviction counters are exposed as
 
 from __future__ import annotations
 
+import enum
+import hashlib
+import json
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 
+from repro.hardware.gpu import GPUSpec
+from repro.models.config import ModelConfig
 from repro.parallel.comm import pp_send_time, tp_comm_time
+from repro.parallel.config import ParallelConfig
+from repro.perf.calibration import Calibration
 from repro.perf.iteration import ExecutionModel
 from repro.types import IterationTime, TokenWork, ZERO_TIME
 
@@ -44,6 +51,97 @@ from repro.types import IterationTime, TokenWork, ZERO_TIME
 DEFAULT_MAX_ENTRIES = 1 << 17
 
 BatchSignature = tuple[bool, bool, tuple[tuple[int, int, bool, bool], ...]]
+
+# Bump when the cache key/value layout changes: snapshots carry the
+# version, and loaders reject mismatching ones instead of replaying
+# entries computed under different semantics.
+SNAPSHOT_VERSION = 1
+
+
+def execution_fingerprint(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    parallel: ParallelConfig,
+    calibration: Calibration,
+) -> str:
+    """Stable hash of everything that determines cached values.
+
+    Two execution models with equal fingerprints produce bit-identical
+    pricing, so their cache entries are interchangeable — across
+    processes, runs and machines.  The hash covers every field of the
+    four configuration dataclasses (recursively, so link specs and
+    enum members are included) plus the snapshot schema version.
+    """
+
+    def canonical(value):
+        if isinstance(value, enum.Enum):
+            return value.value
+        raise TypeError(f"unhashable config field {value!r}")
+
+    payload = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "model": asdict(model),
+        "gpu": asdict(gpu),
+        "parallel": asdict(parallel),
+        "calibration": asdict(calibration),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=canonical)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass
+class CacheSnapshot:
+    """A serializable copy of one :class:`CachedExecutionModel`'s tiers.
+
+    Snapshots are what the persistent disk cache stores and what worker
+    processes exchange: plain dicts of hashable keys to floats (or
+    :class:`IterationTime` tuples), tagged with the owning model's
+    fingerprint so entries are never replayed under a different
+    configuration.
+    """
+
+    fingerprint: str
+    version: int = SNAPSHOT_VERSION
+    batch: dict[BatchSignature, IterationTime] = field(default_factory=dict)
+    work: dict[tuple[int, int, bool], float] = field(default_factory=dict)
+    linear: dict[tuple[int, int], float] = field(default_factory=dict)
+    token: dict[int, tuple[float, float]] = field(default_factory=dict)
+    send: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_entries(self) -> int:
+        return (
+            len(self.batch)
+            + len(self.work)
+            + len(self.linear)
+            + len(self.token)
+            + len(self.send)
+        )
+
+    def merge(self, other: "CacheSnapshot") -> int:
+        """Union ``other``'s entries into this snapshot.
+
+        Both snapshots must share a fingerprint, which guarantees any
+        overlapping keys hold bit-identical values — so merge order
+        cannot change the result.  Returns the number of new entries.
+        """
+        if other.fingerprint != self.fingerprint:
+            raise ValueError(
+                f"cannot merge snapshot {other.fingerprint} into "
+                f"{self.fingerprint}: fingerprints differ"
+            )
+        if other.version != self.version:
+            raise ValueError(
+                f"cannot merge snapshot version {other.version} into "
+                f"version {self.version}"
+            )
+        before = self.num_entries
+        self.batch.update(other.batch)
+        self.work.update(other.work)
+        self.linear.update(other.linear)
+        self.token.update(other.token)
+        self.send.update(other.send)
+        return self.num_entries - before
 
 
 def batch_signature(
@@ -71,7 +169,10 @@ class CacheStats:
 
     ``hits``/``misses``/``evictions``/``size`` describe the batch tier;
     ``work_hits``/``work_misses`` describe the per-work attention tier,
-    where most of the wall-clock savings come from.
+    where most of the wall-clock savings come from, and
+    ``component_evictions`` counts evictions from *any* component tier
+    (work/linear/token/send) — kept separate so batch-tier telemetry
+    stays truthful.
     """
 
     hits: int = 0
@@ -81,6 +182,7 @@ class CacheStats:
     max_entries: int = DEFAULT_MAX_ENTRIES
     work_hits: int = 0
     work_misses: int = 0
+    component_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -98,6 +200,7 @@ class CacheStats:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_evictions": self.evictions,
+            "cache_component_evictions": self.component_evictions,
             "cache_size": self.size,
             "cache_hit_rate": self.hit_rate,
             "cache_work_hits": self.work_hits,
@@ -137,6 +240,7 @@ class CachedExecutionModel(ExecutionModel):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._component_evictions = 0
         self._work_hits = 0
         self._work_misses = 0
 
@@ -189,7 +293,73 @@ class CachedExecutionModel(ExecutionModel):
             max_entries=self.max_entries,
             work_hits=self._work_hits,
             work_misses=self._work_misses,
+            component_evictions=self._component_evictions,
         )
+
+    @property
+    def fingerprint(self) -> str:
+        """The configuration hash keying this model's persistent cache."""
+        return execution_fingerprint(
+            self.model, self.gpu, self.parallel, self.calibration
+        )
+
+    @property
+    def num_entries(self) -> int:
+        """Total entries across every tier (cheap: no snapshot copy)."""
+        return (
+            len(self._batch_cache)
+            + len(self._work_cache)
+            + len(self._linear_cache)
+            + len(self._token_cache)
+            + len(self._send_cache)
+        )
+
+    def export_snapshot(self) -> CacheSnapshot:
+        """Copy every tier into a serializable :class:`CacheSnapshot`."""
+        return CacheSnapshot(
+            fingerprint=self.fingerprint,
+            batch=dict(self._batch_cache),
+            work=dict(self._work_cache),
+            linear=dict(self._linear_cache),
+            token=dict(self._token_cache),
+            send=dict(self._send_cache),
+        )
+
+    def load_snapshot(self, snapshot: CacheSnapshot) -> int:
+        """Pre-warm the tiers from a snapshot; returns entries added.
+
+        Existing in-memory entries win (they are bit-identical anyway,
+        since the fingerprint pins every input of the computation);
+        loading never touches the hit/miss counters, so stats keep
+        describing this process's own lookups.  Each tier respects
+        ``max_entries``: excess snapshot entries are dropped, not
+        evicted through the FIFO (no eviction counters move).
+        """
+        if snapshot.fingerprint != self.fingerprint:
+            raise ValueError(
+                f"snapshot fingerprint {snapshot.fingerprint} does not match "
+                f"model fingerprint {self.fingerprint}"
+            )
+        if snapshot.version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {snapshot.version} unsupported "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        added = 0
+        for cache, entries in (
+            (self._batch_cache, snapshot.batch),
+            (self._work_cache, snapshot.work),
+            (self._linear_cache, snapshot.linear),
+            (self._token_cache, snapshot.token),
+            (self._send_cache, snapshot.send),
+        ):
+            for key, value in entries.items():
+                if len(cache) >= self.max_entries:
+                    break
+                if key not in cache:
+                    cache[key] = value
+                    added += 1
+        return added
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
@@ -199,6 +369,7 @@ class CachedExecutionModel(ExecutionModel):
         self._token_cache.clear()
         self._send_cache.clear()
         self._hits = self._misses = self._evictions = 0
+        self._component_evictions = 0
         self._work_hits = self._work_misses = 0
 
     # ------------------------------------------------------------------
@@ -248,7 +419,9 @@ class CachedExecutionModel(ExecutionModel):
         return IterationTime(linear, attention, others, comm, overhead)
 
     def _bounded_put(self, cache: dict, key, value) -> None:
+        # Component tiers only — the batch tier has its own inline FIFO
+        # and its own eviction counter in ``stage_iteration_time``.
         if len(cache) >= self.max_entries:
             cache.pop(next(iter(cache)))
-            self._evictions += 1
+            self._component_evictions += 1
         cache[key] = value

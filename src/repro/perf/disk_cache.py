@@ -1,0 +1,121 @@
+"""Persistent on-disk execution-model cache shared across processes.
+
+The in-memory :class:`~repro.perf.cache.CachedExecutionModel` dies with
+its process, so every sweep run — and every worker of a parallel sweep
+— used to start cold.  This module gives cache entries a life beyond
+the process: snapshots are pickled to one file per configuration
+fingerprint inside a cache directory, workers load the file at startup
+and merge their new entries back when a task finishes.
+
+Guarantees and non-guarantees:
+
+* **Correctness** — entries are keyed by the full configuration
+  fingerprint (model, GPU, parallelism, calibration, schema version),
+  so a loaded value is always exactly the float the loading process
+  would have computed itself.  Replaying them cannot change results.
+* **Durability under concurrency** — merges are read-union-replace
+  with an atomic :func:`os.replace`, so readers never observe a torn
+  file.  Two workers merging simultaneously may each persist a union
+  missing some of the other's entries; because values are deterministic
+  this only costs recomputation, never correctness, and the next merge
+  re-unions whatever survived.
+* **Robustness** — an unreadable, truncated or version-mismatched file
+  is treated as a cold cache (and overwritten by the next merge), never
+  an error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.perf.cache import CachedExecutionModel, CacheSnapshot, SNAPSHOT_VERSION
+
+# Bump together with repro.perf.cache.SNAPSHOT_VERSION when the pickled
+# layout changes; both are checked on load.
+FILE_MAGIC = "repro-perf-cache"
+
+
+class PersistentPerfCache:
+    """A directory of pickled :class:`CacheSnapshot`\\ s, one per fingerprint."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"perf-{fingerprint}.pkl"
+
+    # ------------------------------------------------------------------
+    # Snapshot I/O
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: str) -> CacheSnapshot | None:
+        """The stored snapshot for a fingerprint, or None when cold.
+
+        Any failure to read (missing file, truncated pickle, foreign
+        payload, version drift) degrades to a cold start.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("magic") != FILE_MAGIC:
+            return None
+        snapshot = payload.get("snapshot")
+        if (
+            not isinstance(snapshot, CacheSnapshot)
+            or snapshot.version != SNAPSHOT_VERSION
+            or snapshot.fingerprint != fingerprint
+        ):
+            return None
+        return snapshot
+
+    def merge(self, snapshot: CacheSnapshot) -> int:
+        """Union a snapshot into the store; returns entries added on disk.
+
+        Read-union-replace: the current file (if any) is loaded, the new
+        snapshot's entries are unioned in, and the result replaces the
+        file atomically so concurrent readers see either the old or the
+        new complete payload.
+        """
+        existing = self.load(snapshot.fingerprint)
+        if existing is None:
+            merged, added = snapshot, snapshot.num_entries
+        else:
+            merged, added = existing, existing.merge(snapshot)
+        self._write(merged)
+        return added
+
+    def _write(self, snapshot: CacheSnapshot) -> Path:
+        path = self.path_for(snapshot.fingerprint)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        payload = {"magic": FILE_MAGIC, "snapshot": snapshot}
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Model-level conveniences
+    # ------------------------------------------------------------------
+    def warm(self, model: CachedExecutionModel) -> int:
+        """Pre-load a model from its fingerprint's file; entries added."""
+        snapshot = self.load(model.fingerprint)
+        if snapshot is None:
+            return 0
+        return model.load_snapshot(snapshot)
+
+    def persist(self, model: CachedExecutionModel) -> int:
+        """Merge a model's current entries back; new-on-disk entries."""
+        return self.merge(model.export_snapshot())
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints present in the cache directory, sorted."""
+        prefix, suffix = "perf-", ".pkl"
+        return sorted(
+            p.name[len(prefix):-len(suffix)]
+            for p in self.cache_dir.glob(f"{prefix}*{suffix}")
+        )

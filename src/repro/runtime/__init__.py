@@ -1,0 +1,39 @@
+"""Sweep execution runtime: parallel fan-out with persistent warm caches.
+
+See :mod:`repro.runtime.engine` for the worker model and determinism
+contract.  Experiments use :func:`map_tasks` for the fan-out and :func:`shared_execution_model`/:func:`persist_execution_model`
+to start warm from — and contribute back to — the persistent perf
+cache.
+"""
+
+from repro.runtime.engine import (
+    CACHE_DIR_ENV,
+    JOBS_ENV,
+    ModelLease,
+    SweepReport,
+    TaskOutcome,
+    cache_dir_from_env,
+    clear_process_models,
+    current_cache_dir,
+    jobs_from_env,
+    map_tasks,
+    persist_execution_model,
+    shared_execution_model,
+    sweep_env,
+)
+
+__all__ = [
+    "JOBS_ENV",
+    "CACHE_DIR_ENV",
+    "ModelLease",
+    "SweepReport",
+    "TaskOutcome",
+    "cache_dir_from_env",
+    "clear_process_models",
+    "current_cache_dir",
+    "jobs_from_env",
+    "map_tasks",
+    "persist_execution_model",
+    "shared_execution_model",
+    "sweep_env",
+]

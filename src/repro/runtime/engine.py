@@ -1,0 +1,292 @@
+"""Parallel sweep execution engine.
+
+Capacity figures and fleet grids are embarrassingly parallel: dozens of
+independent (deployment, scheduler, dataset, SLO) cells, each a pile of
+deterministic simulations.  This module fans those cells out across
+worker processes while keeping the results *bit-identical* to a serial
+run:
+
+* tasks are submitted in canonical order and results are collected in
+  that same order (``ProcessPoolExecutor.map`` preserves it), so the
+  output never depends on completion order;
+* every task carries its own seeds inside its spec, so a task computes
+  the same result in any process;
+* the only cross-task state — the memoized execution-model cache — is
+  bit-identical by construction (see :mod:`repro.perf.cache`), so
+  sharing it between tasks, processes and runs can change wall-clock
+  but never values.
+
+Workers start warm: when a cache directory is configured, each process
+loads the persistent snapshot for a configuration the first time it
+prices it (:mod:`repro.perf.disk_cache`) and merges its new entries
+back after each task, so run N+1 — and every late-starting worker of
+run N — skips work any earlier process already did.
+
+``jobs=1`` (the default) runs tasks in-process through the *same* code
+path, which is both the fallback on single-core machines and the
+reference the parallel path is golden-tested against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+from repro.perf.cache import CachedExecutionModel
+from repro.perf.disk_cache import PersistentPerfCache
+from repro.perf.iteration import ExecutionModel
+
+# Environment knobs mirrored by the CLI's --jobs / --cache-dir flags.
+JOBS_ENV = "REPRO_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker-process count from ``REPRO_JOBS`` (>= 1)."""
+    value = os.environ.get(JOBS_ENV, "").strip()
+    if not value:
+        return default
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise ValueError(f"{JOBS_ENV} must be an integer, got {value!r}") from None
+    if jobs < 1:
+        raise ValueError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
+
+
+def cache_dir_from_env() -> Path | None:
+    """Persistent perf-cache directory from ``REPRO_CACHE_DIR``."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+@contextmanager
+def sweep_env(jobs: int | None = None, cache_dir: str | Path | None = None):
+    """Temporarily pin the sweep knobs in the environment.
+
+    The figure registry's runners read ``REPRO_JOBS``/``REPRO_CACHE_DIR``
+    when not passed explicit arguments, so the CLI can thread --jobs and
+    --cache-dir through ``reproduce_figure`` without changing every
+    runner's signature.
+    """
+    saved = {
+        key: os.environ.get(key)
+        for key in (JOBS_ENV, CACHE_DIR_ENV)
+    }
+    try:
+        if jobs is not None:
+            os.environ[JOBS_ENV] = str(jobs)
+        if cache_dir is not None:
+            os.environ[CACHE_DIR_ENV] = str(cache_dir)
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+# ----------------------------------------------------------------------
+# Per-process shared state
+# ----------------------------------------------------------------------
+# One warm execution model per configuration fingerprint, shared by
+# every task this process runs (exactly the sharing measure_capacity
+# already does across the probes of one cell, widened to the whole
+# sweep).  Values are bit-identical regardless of which task populated
+# an entry, so this affects wall-clock only.
+_process_models: dict[tuple[str, int], CachedExecutionModel] = {}
+# Entry count of each shared model at its last persist, so fully-warm
+# tasks (no new entries) skip the disk read-union-write entirely.
+_persisted_entries: dict[tuple[str, int], int] = {}
+_process_cache_dir: Path | None = None
+
+
+def _set_process_cache_dir(cache_dir: Path | None) -> None:
+    global _process_cache_dir
+    _process_cache_dir = cache_dir
+
+
+def current_cache_dir() -> Path | None:
+    """The persistent cache directory active in this process, if any."""
+    return _process_cache_dir
+
+
+def _worker_init(cache_dir_str: str | None) -> None:
+    """ProcessPool initializer: adopt the sweep's cache directory."""
+    _set_process_cache_dir(Path(cache_dir_str) if cache_dir_str else None)
+
+
+@dataclass
+class ModelLease:
+    """How a task obtained its execution model, for telemetry."""
+
+    exec_model: ExecutionModel
+    # "off" (uncached model), "cold", "disk" (warmed from the persistent
+    # store) or "process" (reused from an earlier task in this process).
+    source: str
+    loaded_entries: int = 0
+
+
+def shared_execution_model(deployment, config) -> ModelLease:
+    """A (possibly disk-warmed) execution model for one task.
+
+    Cached models are keyed by configuration fingerprint and reused
+    across every task of this process; the first lease per fingerprint
+    pre-loads the persistent snapshot when a cache directory is active.
+    Uncached configs (``config.perf_cache=False``) always build fresh.
+    """
+    from repro.api import execution_model_for
+
+    exec_model = execution_model_for(deployment, config)
+    if not isinstance(exec_model, CachedExecutionModel):
+        return ModelLease(exec_model=exec_model, source="off")
+    key = (exec_model.fingerprint, exec_model.max_entries)
+    shared = _process_models.get(key)
+    if shared is not None:
+        return ModelLease(exec_model=shared, source="process")
+    loaded = 0
+    source = "cold"
+    if _process_cache_dir is not None:
+        loaded = PersistentPerfCache(_process_cache_dir).warm(exec_model)
+        if loaded:
+            source = "disk"
+    _process_models[key] = exec_model
+    _persisted_entries[key] = exec_model.num_entries
+    return ModelLease(exec_model=exec_model, source=source, loaded_entries=loaded)
+
+
+def persist_execution_model(exec_model: ExecutionModel) -> int:
+    """Merge a model's entries into the persistent store; new entries.
+
+    No-op (returns 0) when no cache directory is active, the model is
+    uncached, or the model has gained no entries since its last persist
+    (the fully-warm fast path: no disk traffic at all).
+    """
+    if _process_cache_dir is None or not isinstance(exec_model, CachedExecutionModel):
+        return 0
+    key = (exec_model.fingerprint, exec_model.max_entries)
+    if _persisted_entries.get(key) == exec_model.num_entries:
+        return 0
+    merged = PersistentPerfCache(_process_cache_dir).persist(exec_model)
+    _persisted_entries[key] = exec_model.num_entries
+    return merged
+
+
+def clear_process_models() -> None:
+    """Drop this process's shared warm models (tests and benchmarks)."""
+    _process_models.clear()
+    _persisted_entries.clear()
+
+
+# ----------------------------------------------------------------------
+# The fan-out engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One task's result plus its execution footprint."""
+
+    index: int
+    value: Any
+    worker_pid: int
+    seconds: float
+
+
+@dataclass
+class SweepReport:
+    """Everything one ``map_tasks`` call did, in canonical task order."""
+
+    outcomes: list[TaskOutcome] = field(default_factory=list)
+    jobs: int = 1
+    cache_dir: Path | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def values(self) -> list[Any]:
+        return [outcome.value for outcome in self.outcomes]
+
+    @property
+    def num_workers(self) -> int:
+        return len({outcome.worker_pid for outcome in self.outcomes})
+
+    def worker_rows(self) -> list[dict[str, Any]]:
+        """Per-task timing rows for telemetry export."""
+        return [
+            {
+                "task_index": outcome.index,
+                "worker_pid": outcome.worker_pid,
+                "task_seconds": outcome.seconds,
+                "jobs": self.jobs,
+                "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            }
+            for outcome in self.outcomes
+        ]
+
+
+def _run_one(fn: Callable[[Any], Any], payload: tuple[int, Any]) -> TaskOutcome:
+    index, item = payload
+    start = time.perf_counter()
+    value = fn(item)
+    return TaskOutcome(
+        index=index,
+        value=value,
+        worker_pid=os.getpid(),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def map_tasks(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> SweepReport:
+    """Run ``fn`` over ``items``, serially or across worker processes.
+
+    Results always come back in item order — the parallel path is
+    output-equivalent to the serial one whenever ``fn`` is a pure
+    function of its item (every sweep task is: specs carry their own
+    seeds, and the shared perf cache is bit-identical by construction).
+
+    ``fn`` and each item must be picklable (module-level function,
+    dataclass specs) when ``jobs > 1``.  ``jobs`` and ``cache_dir``
+    default to ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``.
+    """
+    if jobs is None:
+        jobs = jobs_from_env()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if cache_dir is None:
+        cache_dir = cache_dir_from_env()
+    cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    tasks = list(enumerate(items))
+    start = time.perf_counter()
+    if jobs == 1 or len(tasks) <= 1:
+        previous = _process_cache_dir
+        _set_process_cache_dir(cache_dir)
+        try:
+            outcomes = [_run_one(fn, task) for task in tasks]
+        finally:
+            _set_process_cache_dir(previous)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_worker_init,
+            initargs=(str(cache_dir) if cache_dir else None,),
+        ) as pool:
+            outcomes = list(pool.map(partial(_run_one, fn), tasks))
+    return SweepReport(
+        outcomes=outcomes,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        wall_seconds=time.perf_counter() - start,
+    )

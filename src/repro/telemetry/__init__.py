@@ -10,6 +10,7 @@ from repro.telemetry.recorder import (
     write_csv,
     write_jsonl,
 )
+from repro.telemetry.sweep import capacity_probe_rows, sweep_cell_rows
 
 __all__ = [
     "iteration_rows",
@@ -17,6 +18,8 @@ __all__ = [
     "run_counters",
     "fleet_rows",
     "replica_utilization_rows",
+    "capacity_probe_rows",
+    "sweep_cell_rows",
     "write_jsonl",
     "read_jsonl",
     "write_csv",

@@ -137,6 +137,30 @@ class TestCacheCounters:
         row = CacheStats(hits=3, misses=1, size=1).as_row()
         assert row["cache_hits"] == 3
         assert row["cache_hit_rate"] == pytest.approx(0.75)
+        assert row["cache_component_evictions"] == 0
+
+    def test_component_evictions_counted_separately(self):
+        # One batch of many unique decode works: the batch tier stores a
+        # single entry (no batch evictions possible), while the work
+        # tier overflows max_entries and must evict.
+        cached = CachedExecutionModel(DEPLOYMENTS[0].execution_model(), max_entries=8)
+        works = [TokenWork.decode(100 + i) for i in range(32)]
+        cached.stage_iteration_time(works)
+        stats = cached.cache_stats
+        assert stats.evictions == 0  # batch tier untouched by the overflow
+        assert stats.component_evictions > 0
+        assert stats.size == 1
+
+    def test_batch_evictions_do_not_count_as_component(self):
+        # Many single-work batches of the *same* work: only the batch
+        # tier grows past max_entries (the component tiers stay tiny).
+        cached = CachedExecutionModel(DEPLOYMENTS[0].execution_model(), max_entries=4)
+        for i in range(12):
+            cached.stage_iteration_time([TokenWork.decode(64)], is_last_stage=i % 2 == 0)
+            cached.stage_iteration_time([TokenWork.decode(64 + i % 8)])
+        stats = cached.cache_stats
+        assert stats.evictions > 0
+        assert stats.size <= 4
 
 
 class TestBatchSignature:

@@ -1,0 +1,291 @@
+"""Tests for the parallel sweep engine (``repro.runtime``) and the
+warm-started grid runner.
+
+The contract under test is the tentpole guarantee: a sweep's output is
+a pure function of its spec list — the same tables come back serial,
+parallel, cold or disk-warmed.  The fig10-shaped smoke grid is run
+both ways and compared exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Deployment
+from repro.experiments.capacity_runner import (
+    CapacityCellSpec,
+    plan_waves,
+    run_capacity_cells,
+    serving_config_for,
+    token_budget_for,
+)
+from repro.experiments.common import Scale
+from repro.hardware.catalog import A100_80G
+from repro.metrics.capacity import CapacityResult
+from repro.metrics.slo import SLOSpec
+from repro.metrics.summary import RunMetrics
+from repro.models.catalog import TINY_1B
+from repro.runtime import (
+    CACHE_DIR_ENV,
+    JOBS_ENV,
+    cache_dir_from_env,
+    clear_process_models,
+    jobs_from_env,
+    map_tasks,
+    sweep_env,
+)
+from repro.telemetry import capacity_probe_rows, sweep_cell_rows
+from repro.types import SchedulerKind
+from repro.workload.datasets import SHAREGPT4
+
+TINY = Scale(num_requests=12, capacity_rel_tol=0.5, capacity_max_probes=3)
+
+
+def square(x: int) -> int:  # module-level: picklable for worker processes
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_models():
+    clear_process_models()
+    yield
+    clear_process_models()
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes():
+    """The smoke grid run once serially — the golden reference."""
+    clear_process_models()
+    outcomes = run_capacity_cells(tiny_grid_specs(), jobs=1)
+    clear_process_models()
+    return outcomes
+
+
+def tiny_grid_specs(scale: Scale = TINY) -> list[CapacityCellSpec]:
+    deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+    return [
+        CapacityCellSpec(
+            deployment=deployment,
+            scheduler=scheduler,
+            dataset=SHAREGPT4,
+            scale=scale,
+            strict=strict,
+            qps_hint=1.0,
+        )
+        for strict in (True, False)
+        for scheduler in (SchedulerKind.VLLM, SchedulerKind.SARATHI)
+    ]
+
+
+class TestMapTasks:
+    def test_serial_preserves_order(self):
+        report = map_tasks(square, [3, 1, 2], jobs=1)
+        assert report.values == [9, 1, 4]
+        assert [o.index for o in report.outcomes] == [0, 1, 2]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(8))
+        serial = map_tasks(square, items, jobs=1)
+        parallel = map_tasks(square, items, jobs=2)
+        assert parallel.values == serial.values
+        assert parallel.jobs == 2
+
+    def test_worker_rows_shape(self):
+        report = map_tasks(square, [1, 2], jobs=1)
+        rows = report.worker_rows()
+        assert [r["task_index"] for r in rows] == [0, 1]
+        assert all(r["jobs"] == 1 for r in rows)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            map_tasks(square, [1], jobs=0)
+
+
+class TestEnvKnobs:
+    def test_jobs_default_and_parse(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert jobs_from_env() == 1
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert jobs_from_env() == 4
+
+    @pytest.mark.parametrize("value", ["zero", "0", "-2"])
+    def test_jobs_rejects_garbage(self, monkeypatch, value):
+        monkeypatch.setenv(JOBS_ENV, value)
+        with pytest.raises(ValueError, match=JOBS_ENV):
+            jobs_from_env()
+
+    def test_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert cache_dir_from_env() is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert cache_dir_from_env() == tmp_path
+
+    def test_sweep_env_sets_and_restores(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.setenv(CACHE_DIR_ENV, "original")
+        with sweep_env(jobs=3, cache_dir=tmp_path):
+            assert jobs_from_env() == 3
+            assert cache_dir_from_env() == tmp_path
+        assert jobs_from_env() == 1
+        assert cache_dir_from_env() is not None
+        assert cache_dir_from_env().name == "original"
+
+
+class TestWavePlanning:
+    def test_one_anchor_per_group(self):
+        specs = tiny_grid_specs()
+        anchors, followers = plan_waves(specs)
+        # All four cells share (deployment, dataset) → one anchor.
+        assert [index for index, _ in anchors] == [0]
+        assert followers == [1, 2, 3]
+
+    def test_distinct_groups_get_distinct_anchors(self):
+        specs = tiny_grid_specs()
+        specs = [
+            spec if i < 2 else CapacityCellSpec(
+                deployment=spec.deployment,
+                scheduler=spec.scheduler,
+                dataset=spec.dataset,
+                scale=spec.scale,
+                strict=spec.strict,
+                group=("other",),
+            )
+            for i, spec in enumerate(specs)
+        ]
+        anchors, followers = plan_waves(specs)
+        assert [index for index, _ in anchors] == [0, 2]
+        assert followers == [1, 3]
+
+    def test_spec_validation(self):
+        deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+        with pytest.raises(ValueError, match="strict"):
+            CapacityCellSpec(
+                deployment=deployment,
+                scheduler=SchedulerKind.VLLM,
+                dataset=SHAREGPT4,
+                scale=TINY,
+            )
+        with pytest.raises(ValueError, match="qps_hint"):
+            CapacityCellSpec(
+                deployment=deployment,
+                scheduler=SchedulerKind.VLLM,
+                dataset=SHAREGPT4,
+                scale=TINY,
+                strict=True,
+                qps_hint=0.0,
+            )
+
+
+class TestGridBitIdentity:
+    """The golden test: the smoke grid, serial vs parallel vs warm."""
+
+    def test_parallel_and_warm_runs_identical(self, tmp_path, serial_outcomes):
+        specs = tiny_grid_specs()
+        serial = serial_outcomes
+
+        parallel = run_capacity_cells(specs, jobs=2)
+        assert [o.cell for o in parallel] == [o.cell for o in serial]
+
+        # Cold disk-cached run, then a fully-warm rerun: same cells.
+        clear_process_models()
+        cold = run_capacity_cells(specs, jobs=1, cache_dir=tmp_path)
+        assert [o.cell for o in cold] == [o.cell for o in serial]
+        clear_process_models()
+        warm = run_capacity_cells(specs, jobs=1, cache_dir=tmp_path)
+        assert [o.cell for o in warm] == [o.cell for o in serial]
+        assert warm[0].cache_source == "disk"
+        assert warm[0].loaded_entries > 0
+        # The warm run recomputed nothing, so it persisted nothing.
+        assert all(o.merged_entries == 0 for o in warm)
+
+    def test_warm_start_hints_flow_from_anchor(self, serial_outcomes):
+        specs = tiny_grid_specs()
+        outcomes = serial_outcomes
+        anchor, followers = outcomes[0], outcomes[1:]
+        assert not anchor.hinted
+        assert anchor.qps_hint == specs[0].qps_hint
+        if anchor.cell.capacity_qps > 0:
+            for follower in followers:
+                assert follower.hinted
+                assert follower.qps_hint == anchor.cell.capacity_qps
+
+
+class TestServingConfigValidation:
+    def test_explicit_zero_budget_raises(self):
+        deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+        with pytest.raises(ValueError, match="token_budget"):
+            serving_config_for(
+                deployment, SchedulerKind.SARATHI, strict=True, token_budget=0
+            )
+
+    def test_none_budget_uses_regime_default(self):
+        deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+        config = serving_config_for(deployment, SchedulerKind.SARATHI, strict=True)
+        assert config.token_budget == token_budget_for(deployment, strict=True)
+
+    def test_explicit_budget_respected(self):
+        deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+        config = serving_config_for(
+            deployment, SchedulerKind.SARATHI, strict=True, token_budget=96
+        )
+        assert config.token_budget == 96
+
+
+def fake_metrics(p99_tbt: float) -> RunMetrics:
+    return RunMetrics(
+        num_requests=4,
+        makespan=10.0,
+        median_ttft=0.5,
+        p90_ttft=0.8,
+        p99_ttft=0.9,
+        median_tbt=0.05,
+        p99_tbt=p99_tbt,
+        max_tbt=p99_tbt * 1.5,
+        median_scheduling_delay=0.01,
+        p99_scheduling_delay=0.05,
+        output_tokens=64,
+        total_tokens=256,
+        num_preemptions=1,
+        throughput_rps=0.4,
+        throughput_tokens_per_s=25.0,
+        mean_bubble_fraction=0.0,
+    )
+
+
+class TestSweepTelemetry:
+    def test_probe_rows_phases_and_labels(self):
+        result = CapacityResult(
+            capacity_qps=1.0,
+            slo=SLOSpec(name="strict", p99_tbt=0.1),
+            probes=[
+                (0.5, fake_metrics(0.05), True),
+                (1.0, fake_metrics(0.08), True),
+                (2.0, fake_metrics(0.30), False),
+            ],
+            qps_hint=2.0,
+            num_bracket_probes=2,
+            num_bisect_probes=1,
+        )
+        rows = capacity_probe_rows(result, deployment="tiny", scheduler="vllm")
+        assert len(rows) == 3
+        assert [r["phase"] for r in rows] == ["bracket", "bracket", "bisect"]
+        assert [r["probe_index"] for r in rows] == [0, 1, 2]
+        assert all(r["deployment"] == "tiny" for r in rows)
+        assert rows[2]["meets_slo"] is False
+        assert rows[0]["qps_hint"] == 2.0
+        assert rows[0]["p99_tbt"] == 0.05
+
+    def test_cell_rows_cover_the_grid(self, serial_outcomes):
+        outcomes = serial_outcomes
+        rows = sweep_cell_rows(outcomes)
+        assert len(rows) == len(outcomes)
+        assert rows[0]["cache_source"] == "cold"
+        assert {row["scheduler"] for row in rows} == {"vllm", "sarathi"}
+        assert all("cell_seconds" in row and "worker_pid" in row for row in rows)
+        # Probe accounting is consistent with the cell's probe count.
+        for row in rows:
+            assert row["num_bracket_probes"] + row["num_bisect_probes"] == row[
+                "num_probes"
+            ]
+        probe_rows = [r for o in outcomes for r in o.probe_rows]
+        assert sum(row["num_probes"] for row in rows) == len(probe_rows)
