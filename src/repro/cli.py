@@ -69,6 +69,55 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
         help="directory for the persistent perf cache; warm-starts "
         "repeat runs (default off, or REPRO_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="journal completed sweep cells to this directory's run "
+        "ledger (default off, or REPRO_RUN_DIR)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_DIR",
+        default=None,
+        help="resume from a previous run's ledger in RUN_DIR, "
+        "recomputing only missing cells (implies --run-dir RUN_DIR)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds a sweep task may run before its worker is killed "
+        "and the task retried (default none, or REPRO_TASK_TIMEOUT; "
+        "needs --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per task after a crash/hang/error before it is "
+        "quarantined (default 2, or REPRO_MAX_RETRIES)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        help="deterministic fault injection for recovery drills, e.g. "
+        "'kill=0.2,hang=0.1,seed=1' (default off, or REPRO_CHAOS; "
+        "needs --jobs >= 2)",
+    )
+
+
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    """The supervised-sweep knobs shared by capacity/fleet/reproduce."""
+    run_dir = args.resume if args.resume is not None else args.run_dir
+    return {
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "run_dir": run_dir,
+        "resume": True if args.resume is not None else None,
+        "task_timeout": args.task_timeout,
+        "max_retries": args.max_retries,
+        "chaos": args.chaos,
+    }
 
 
 def _perf_cache_from(args: argparse.Namespace) -> bool:
@@ -137,11 +186,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         from repro.experiments.common import scale_from_env
         from repro.experiments.registry import reproduce_figure
 
-        print(
-            reproduce_figure(
-                "fleet", scale_from_env(), jobs=args.jobs, cache_dir=args.cache_dir
-            )
-        )
+        print(reproduce_figure("fleet", scale_from_env(), **_sweep_kwargs(args)))
         return 0
 
     deployment = _deployment_from(args)
@@ -224,19 +269,31 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         slo=slo,
         qps_hint=args.qps_hint,
     )
-    outcome = run_capacity_cells([spec], jobs=args.jobs, cache_dir=args.cache_dir)[0]
+    reports: list = []
+    outcomes = run_capacity_cells([spec], reports=reports, **_sweep_kwargs(args))
+    if not outcomes:
+        print("interrupted before the search completed; "
+              "re-run with --resume to continue")
+        return 130
+    outcome = outcomes[0]
     cell = outcome.cell
     print(
         f"capacity: {cell.capacity_qps:.2f} qps "
         f"({cell.num_probes} probes: {outcome.num_bracket_probes} bracket + "
         f"{outcome.num_bisect_probes} bisect; {outcome.seconds:.1f}s)"
     )
+    if outcome.resumed:
+        print("result replayed from the run ledger (0 probes recomputed)")
     if args.cache_dir:
         print(
             f"perf cache: {outcome.cache_source} start "
             f"({outcome.loaded_entries} entries loaded, "
             f"{outcome.merged_entries} merged back)"
         )
+    total_retries = sum(report.num_retries for report in reports)
+    if total_retries:
+        print(f"supervisor: {total_retries} task retries, "
+              f"{sum(r.num_respawns for r in reports)} pool respawns")
     return 0
 
 
@@ -292,7 +349,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             print(f"  {entry.figure_id:8s} {entry.title}{tag}")
         return 0
     scale = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}[args.scale]
-    print(reproduce_figure(args.figure, scale, jobs=args.jobs, cache_dir=args.cache_dir))
+    print(reproduce_figure(args.figure, scale, **_sweep_kwargs(args)))
     return 0
 
 

@@ -90,12 +90,32 @@ class FaultSchedule:
         return bool(self.faults)
 
     def validate(self, num_replicas: int) -> None:
+        """Reject faults that target missing replicas or overlap in time.
+
+        Two overlapping faults on the same replica would crash an
+        already-down slot and later double-restore it, corrupting the
+        slot's queue bookkeeping; a fault with no recovery
+        (``up_at=None``) overlaps everything after it.  Back-to-back
+        faults (``next.down_at == prev.up_at``) are allowed.
+        """
+        by_replica: dict[int, list[ReplicaFault]] = {}
         for fault in self.faults:
             if fault.replica >= num_replicas:
                 raise ValueError(
                     f"fault targets replica {fault.replica}, "
                     f"fleet has {num_replicas}"
                 )
+            by_replica.setdefault(fault.replica, []).append(fault)
+        for replica, faults in by_replica.items():
+            faults.sort(key=lambda fault: fault.down_at)
+            for previous, current in zip(faults, faults[1:]):
+                if previous.up_at is None or current.down_at < previous.up_at:
+                    raise ValueError(
+                        f"overlapping faults on replica {replica}: "
+                        f"down_at={previous.down_at:g} "
+                        f"(up_at={'never' if previous.up_at is None else f'{previous.up_at:g}'}) "
+                        f"overlaps down_at={current.down_at:g}"
+                    )
 
     @classmethod
     def single(

@@ -236,6 +236,9 @@ class CellOutcome:
     merged_entries: int
     probe_rows: list[dict[str, Any]] = field(default_factory=list)
     cache_row: dict[str, Any] = field(default_factory=dict)
+    # Set by run_capacity_cells from the sweep report, not by the worker:
+    resumed: bool = False  # replayed from the run ledger (a "ledger hit")
+    attempt: int = 0       # >0 = the cell survived that many retries
 
 
 def run_capacity_cell(spec: CapacityCellSpec) -> CellOutcome:
@@ -338,10 +341,31 @@ def plan_waves(
     return anchors, followers
 
 
+def _collect_cells(
+    report, positions: list[int], outcomes: list[CellOutcome | None]
+) -> None:
+    """File a wave's completed cells by task index (ledger-resume and
+    interrupted reports may cover only a subset of the wave)."""
+    for task_outcome in report.outcomes:
+        cell_outcome = replace(
+            task_outcome.value,
+            resumed=task_outcome.resumed,
+            attempt=task_outcome.attempt,
+        )
+        outcomes[positions[task_outcome.index]] = cell_outcome
+
+
 def run_capacity_cells(
     specs: list[CapacityCellSpec],
     jobs: int | None = None,
     cache_dir=None,
+    run_dir=None,
+    resume: bool | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    chaos=None,
+    strict: bool = True,
+    reports: list | None = None,
 ) -> list[CellOutcome]:
     """Run a capacity grid through the sweep engine, warm-started.
 
@@ -350,22 +374,46 @@ def run_capacity_cells(
     anchor's measured capacity (falling back to the spec's static hint
     when the anchor found no capacity).  Outcomes come back in the
     order of ``specs`` regardless of ``jobs``.
+
+    With ``run_dir``, each wave journals to its own fingerprint-keyed
+    ledger and ``resume=True`` replays completed cells bit-identically:
+    a resumed anchor re-seeds its followers from the ledger, so the
+    follower wave's specs — and therefore *its* ledger fingerprint —
+    match the original run's.  An interrupted wave returns the cells
+    completed so far (and skips the follower wave); quarantined cells
+    raise :class:`repro.runtime.SweepFailedError` unless
+    ``strict=False``, which drops them from the result instead.
+    Append-only sweep reports land in ``reports`` when given, for
+    telemetry (:func:`repro.telemetry.sweep.sweep_run_rows`).
     """
     anchors, followers = plan_waves(specs)
     outcomes: list[CellOutcome | None] = [None] * len(specs)
+    options = dict(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        run_dir=run_dir,
+        resume=resume,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        chaos=chaos,
+        strict=strict,
+    )
 
     # Wave 0: anchors, with their static hints.
-    report = map_tasks(
-        run_capacity_cell, [spec for _, spec in anchors], jobs=jobs, cache_dir=cache_dir
-    )
+    report = map_tasks(run_capacity_cell, [spec for _, spec in anchors], **options)
+    if reports is not None:
+        reports.append(report)
+    _collect_cells(report, [index for index, _ in anchors], outcomes)
     hint_by_group: dict[tuple[str, ...], float] = {}
-    for (index, spec), outcome in zip(anchors, report.outcomes):
-        outcomes[index] = outcome.value
-        if outcome.value.cell.capacity_qps > MIN_WARM_HINT:
-            hint_by_group[spec.group_key] = outcome.value.cell.capacity_qps
+    for index, spec in anchors:
+        outcome = outcomes[index]
+        if outcome is not None and outcome.cell.capacity_qps > MIN_WARM_HINT:
+            hint_by_group[spec.group_key] = outcome.cell.capacity_qps
 
-    # Wave 1: everything else, hinted by its group's anchor.
-    if followers:
+    # Wave 1: everything else, hinted by its group's anchor.  Skipped
+    # after an interrupt: the anchors' ledger already holds wave 0, and
+    # the resumed run will re-derive identical hints from it.
+    if followers and not report.interrupted:
         hinted_specs = []
         for index in followers:
             spec = specs[index]
@@ -373,10 +421,9 @@ def run_capacity_cells(
             if hint is not None:
                 spec = replace(spec, qps_hint=hint, hinted=True)
             hinted_specs.append(spec)
-        report = map_tasks(
-            run_capacity_cell, hinted_specs, jobs=jobs, cache_dir=cache_dir
-        )
-        for index, outcome in zip(followers, report.outcomes):
-            outcomes[index] = outcome.value
+        report = map_tasks(run_capacity_cell, hinted_specs, **options)
+        if reports is not None:
+            reports.append(report)
+        _collect_cells(report, followers, outcomes)
 
     return [outcome for outcome in outcomes if outcome is not None]

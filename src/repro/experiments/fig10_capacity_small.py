@@ -73,14 +73,23 @@ def run_capacity_grid(
     strict_values: tuple[bool, ...] = (True, False),
     jobs: int | None = None,
     cache_dir=None,
+    run_dir=None,
+    resume: bool | None = None,
 ) -> list[CapacityCell]:
-    """The full Fig. 10 grid (or any sub-grid), via the sweep engine."""
+    """The full Fig. 10 grid (or any sub-grid), via the sweep engine.
+
+    ``run_dir``/``resume`` (and the ``REPRO_RUN_DIR``/``REPRO_RESUME``
+    env defaults) journal completed cells and replay them after a
+    crash; see :func:`repro.experiments.capacity_runner.run_capacity_cells`.
+    """
     if deployments is None:
         deployments = (mistral_deployment(), yi_deployment())
     specs = capacity_grid_specs(
         scale, deployments, datasets, schedulers, strict_values
     )
-    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    outcomes = run_capacity_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, run_dir=run_dir, resume=resume
+    )
     return [outcome.cell for outcome in outcomes]
 
 

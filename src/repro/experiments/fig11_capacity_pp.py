@@ -39,6 +39,8 @@ def run_capacity_grid_pp(
     strict_values: tuple[bool, ...] = (True, False),
     jobs: int | None = None,
     cache_dir=None,
+    run_dir=None,
+    resume: bool | None = None,
 ) -> list[CapacityCell]:
     """The Fig. 11 grid for pipeline-parallel models."""
     if deployments is None:
@@ -52,5 +54,7 @@ def run_capacity_grid_pp(
         hints=_QPS_HINTS,
         default_hint=0.3,
     )
-    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    outcomes = run_capacity_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, run_dir=run_dir, resume=resume
+    )
     return [outcome.cell for outcome in outcomes]

@@ -59,6 +59,8 @@ def run_slo_sweep(
     qps_hint: float = 3.0,
     jobs: int | None = None,
     cache_dir=None,
+    run_dir=None,
+    resume: bool | None = None,
 ) -> list[SweepPoint]:
     """Capacity vs SLO for every Fig. 12 variant.
 
@@ -86,7 +88,9 @@ def run_slo_sweep(
                     variant=variant,
                 )
             )
-    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    outcomes = run_capacity_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, run_dir=run_dir, resume=resume
+    )
     return [
         SweepPoint(
             variant=outcome.variant,

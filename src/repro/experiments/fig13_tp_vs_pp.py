@@ -85,6 +85,8 @@ def run_parallel_capacity(
     strict_values: tuple[bool, ...] = (True, False),
     jobs: int | None = None,
     cache_dir=None,
+    run_dir=None,
+    resume: bool | None = None,
 ) -> list[ParallelCapacityCell]:
     """Capacity of vLLM-TP8, vLLM-PP and Sarathi-PP (Fig. 13b).
 
@@ -118,7 +120,9 @@ def run_parallel_capacity(
                     variant=name,
                 )
             )
-    outcomes = run_capacity_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    outcomes = run_capacity_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, run_dir=run_dir, resume=resume
+    )
     return [
         ParallelCapacityCell(
             system=outcome.variant,

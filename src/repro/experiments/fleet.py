@@ -158,6 +158,8 @@ def run_fleet_sweep(
     perf_cache: bool | None = None,
     jobs: int | None = None,
     cache_dir=None,
+    run_dir=None,
+    resume: bool | None = None,
 ) -> list[FleetSweepPoint]:
     """Sweep the fleet grid and score each point's goodput.
 
@@ -190,4 +192,7 @@ def run_fleet_sweep(
         for load in load_factors
         for fault_rate in fault_rates
     ]
-    return map_tasks(run_fleet_point, specs, jobs=jobs, cache_dir=cache_dir).values
+    return map_tasks(
+        run_fleet_point, specs, jobs=jobs, cache_dir=cache_dir,
+        run_dir=run_dir, resume=resume,
+    ).values

@@ -257,19 +257,33 @@ def reproduce_figure(
     scale: Scale = DEFAULT,
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
+    run_dir: str | Path | None = None,
+    resume: bool | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    chaos: str | None = None,
 ) -> str:
     """Run one figure's experiment and render its table.
 
-    ``jobs``/``cache_dir`` reach the figure's sweep through the
-    ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment (runners pick them up
-    via the sweep engine's defaults), so every registry entry keeps its
-    plain ``run(scale)`` signature.
+    The sweep knobs (``jobs``, ``cache_dir``, the ``run_dir``/``resume``
+    ledger pair, ``task_timeout``/``max_retries`` supervision limits and
+    the ``chaos`` spec) reach the figure's sweep through the ``REPRO_*``
+    environment (runners pick them up via the sweep engine's defaults),
+    so every registry entry keeps its plain ``run(scale)`` signature.
     """
     key = figure_id.lower()
     if key not in REGISTRY:
         known = ", ".join(sorted(REGISTRY))
         raise KeyError(f"unknown figure {figure_id!r}; known: {known}")
     entry = REGISTRY[key]
-    with sweep_env(jobs=jobs, cache_dir=cache_dir):
+    with sweep_env(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        run_dir=run_dir,
+        resume=resume,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        chaos=chaos,
+    ):
         headers, rows = entry.run(scale)
     return f"{entry.figure_id} — {entry.title}\n\n" + format_table(headers, rows)

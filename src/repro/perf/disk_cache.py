@@ -15,10 +15,13 @@ Guarantees and non-guarantees:
   would have computed itself.  Replaying them cannot change results.
 * **Durability under concurrency** — merges are read-union-replace
   with an atomic :func:`os.replace`, so readers never observe a torn
-  file.  Two workers merging simultaneously may each persist a union
-  missing some of the other's entries; because values are deterministic
-  this only costs recomputation, never correctness, and the next merge
-  re-unions whatever survived.
+  file, and the read-union-write section is serialized by a
+  per-fingerprint lockfile so two workers merging concurrently cannot
+  silently drop each other's new entries (the lost-update race).  A
+  crashed holder's stale lock is broken after a grace period; if the
+  lock cannot be acquired within the timeout the merge proceeds
+  unlocked — values are deterministic, so the worst un-serialized case
+  is recomputation, never corruption.
 * **Robustness** — an unreadable, truncated or version-mismatched file
   is treated as a cold cache (and overwritten by the next merge), never
   an error.
@@ -28,6 +31,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.perf.cache import CachedExecutionModel, CacheSnapshot, SNAPSHOT_VERSION
@@ -35,6 +40,13 @@ from repro.perf.cache import CachedExecutionModel, CacheSnapshot, SNAPSHOT_VERSI
 # Bump together with repro.perf.cache.SNAPSHOT_VERSION when the pickled
 # layout changes; both are checked on load.
 FILE_MAGIC = "repro-perf-cache"
+
+# Merge-lock tuning: how long a merger waits for the lock before
+# proceeding unlocked, how old a lock must be before it is presumed
+# abandoned (its holder crashed mid-merge), and the acquisition poll.
+LOCK_TIMEOUT = 10.0
+STALE_LOCK_AGE = 30.0
+LOCK_POLL = 0.01
 
 
 class PersistentPerfCache:
@@ -73,20 +85,70 @@ class PersistentPerfCache:
             return None
         return snapshot
 
+    def lock_path_for(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"perf-{fingerprint}.lock"
+
+    @contextmanager
+    def _merge_lock(self, fingerprint: str):
+        """Serialize read-union-write per fingerprint via a lockfile.
+
+        ``O_CREAT | O_EXCL`` is atomic on every local filesystem; the
+        loser polls until the winner's unlink.  Two escape hatches keep
+        a crashed or wedged holder from stalling the fleet: a lock
+        older than ``STALE_LOCK_AGE`` is broken (its holder died
+        mid-merge), and after ``LOCK_TIMEOUT`` the merge proceeds
+        unlocked — re-opening the benign lost-update window rather than
+        deadlocking the sweep.
+        """
+        lock = self.lock_path_for(fingerprint)
+        deadline = time.monotonic() + LOCK_TIMEOUT
+        fd: int | None = None
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > STALE_LOCK_AGE:
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(LOCK_POLL)
+        try:
+            yield
+        finally:
+            if fd is not None:
+                os.close(fd)
+                try:
+                    lock.unlink()
+                except OSError:
+                    pass
+
     def merge(self, snapshot: CacheSnapshot) -> int:
         """Union a snapshot into the store; returns entries added on disk.
 
-        Read-union-replace: the current file (if any) is loaded, the new
-        snapshot's entries are unioned in, and the result replaces the
-        file atomically so concurrent readers see either the old or the
-        new complete payload.
+        Read-union-replace under the per-fingerprint merge lock: the
+        current file (if any) is loaded, the new snapshot's entries are
+        unioned in, and the result replaces the file atomically so
+        concurrent readers see either the old or the new complete
+        payload.  The lock closes the lost-update race where two
+        processes read the same base, each union their own entries, and
+        the second ``os.replace`` silently discards the first's.
         """
-        existing = self.load(snapshot.fingerprint)
-        if existing is None:
-            merged, added = snapshot, snapshot.num_entries
-        else:
-            merged, added = existing, existing.merge(snapshot)
-        self._write(merged)
+        with self._merge_lock(snapshot.fingerprint):
+            existing = self.load(snapshot.fingerprint)
+            if existing is None:
+                merged, added = snapshot, snapshot.num_entries
+            else:
+                merged, added = existing, existing.merge(snapshot)
+            self._write(merged)
         return added
 
     def _write(self, snapshot: CacheSnapshot) -> Path:

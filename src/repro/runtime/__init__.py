@@ -1,39 +1,83 @@
-"""Sweep execution runtime: parallel fan-out with persistent warm caches.
+"""Sweep execution runtime: supervised fan-out, warm caches, resume.
 
 See :mod:`repro.runtime.engine` for the worker model and determinism
-contract.  Experiments use :func:`map_tasks` for the fan-out and :func:`shared_execution_model`/:func:`persist_execution_model`
-to start warm from — and contribute back to — the persistent perf
-cache.
+contract, :mod:`repro.runtime.supervisor` for crash/hang recovery and
+quarantine, :mod:`repro.runtime.ledger` for the checkpointed-resume
+journal, and :mod:`repro.runtime.chaos` for deterministic fault
+injection.  Experiments use :func:`map_tasks` for the fan-out and
+:func:`shared_execution_model`/:func:`persist_execution_model` to start
+warm from — and contribute back to — the persistent perf cache.
 """
 
+from repro.runtime.chaos import CHAOS_ENV, ChaosConfig, chaos_from_env, corrupt_file
 from repro.runtime.engine import (
     CACHE_DIR_ENV,
     JOBS_ENV,
+    MAX_RETRIES_ENV,
+    RESUME_ENV,
+    RUN_DIR_ENV,
+    TASK_TIMEOUT_ENV,
     ModelLease,
     SweepReport,
-    TaskOutcome,
     cache_dir_from_env,
     clear_process_models,
     current_cache_dir,
     jobs_from_env,
     map_tasks,
+    max_retries_from_env,
     persist_execution_model,
+    resume_from_env,
+    run_dir_from_env,
     shared_execution_model,
     sweep_env,
+    task_timeout_from_env,
+)
+from repro.runtime.ledger import (
+    RunLedger,
+    decode_outcome,
+    encode_outcome,
+    sweep_fingerprint,
+)
+from repro.runtime.supervisor import (
+    SupervisorPolicy,
+    SweepFailedError,
+    TaskFailure,
+    TaskOutcome,
+    run_supervised,
 )
 
 __all__ = [
     "JOBS_ENV",
     "CACHE_DIR_ENV",
+    "RUN_DIR_ENV",
+    "RESUME_ENV",
+    "TASK_TIMEOUT_ENV",
+    "MAX_RETRIES_ENV",
+    "CHAOS_ENV",
+    "ChaosConfig",
     "ModelLease",
+    "RunLedger",
+    "SupervisorPolicy",
+    "SweepFailedError",
     "SweepReport",
+    "TaskFailure",
     "TaskOutcome",
     "cache_dir_from_env",
+    "chaos_from_env",
     "clear_process_models",
+    "corrupt_file",
     "current_cache_dir",
+    "decode_outcome",
+    "encode_outcome",
     "jobs_from_env",
     "map_tasks",
+    "max_retries_from_env",
     "persist_execution_model",
+    "resume_from_env",
+    "run_dir_from_env",
+    "run_supervised",
     "shared_execution_model",
     "sweep_env",
+    "sweep_fingerprint",
+    "task_timeout_from_env",
 ]

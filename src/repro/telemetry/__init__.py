@@ -10,7 +10,12 @@ from repro.telemetry.recorder import (
     write_csv,
     write_jsonl,
 )
-from repro.telemetry.sweep import capacity_probe_rows, sweep_cell_rows
+from repro.telemetry.sweep import (
+    capacity_probe_rows,
+    sweep_cell_rows,
+    sweep_failure_rows,
+    sweep_run_rows,
+)
 
 __all__ = [
     "iteration_rows",
@@ -20,6 +25,8 @@ __all__ = [
     "replica_utilization_rows",
     "capacity_probe_rows",
     "sweep_cell_rows",
+    "sweep_failure_rows",
+    "sweep_run_rows",
     "write_jsonl",
     "read_jsonl",
     "write_csv",

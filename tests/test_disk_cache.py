@@ -116,6 +116,54 @@ class TestFingerprints:
             model.load_snapshot(CacheSnapshot(fingerprint=FP))
 
 
+class TestMergeLock:
+    def test_lock_released_after_merge(self, tmp_path):
+        cache = PersistentPerfCache(tmp_path)
+        cache.merge(CacheSnapshot(fingerprint=FP, work={(1, 1, True): 2.0}))
+        assert not cache.lock_path_for(FP).exists()
+
+    def test_stale_lock_is_broken(self, tmp_path, monkeypatch):
+        import os
+
+        cache = PersistentPerfCache(tmp_path)
+        lock = cache.lock_path_for(FP)
+        lock.touch()
+        # Age the lock past the stale threshold: its holder "crashed".
+        old = 10_000.0
+        os.utime(lock, (old, old))
+        snapshot = CacheSnapshot(fingerprint=FP, work={(1, 1, True): 2.0})
+        cache.merge(snapshot)  # must not wait out LOCK_TIMEOUT
+        assert cache.load(FP) == snapshot
+        assert not lock.exists()
+
+    def test_held_lock_times_out_to_unlocked_merge(self, tmp_path, monkeypatch):
+        import repro.perf.disk_cache as disk_cache
+
+        monkeypatch.setattr(disk_cache, "LOCK_TIMEOUT", 0.05)
+        cache = PersistentPerfCache(tmp_path)
+        lock = cache.lock_path_for(FP)
+        lock.touch()  # a live holder that never releases
+        snapshot = CacheSnapshot(fingerprint=FP, work={(2, 2, False): 4.0})
+        cache.merge(snapshot)  # degrades to unlocked, never deadlocks
+        assert cache.load(FP) == snapshot
+        assert lock.exists()  # the foreign lock is not ours to remove
+        lock.unlink()
+
+    def test_concurrent_merges_lose_no_entries(self, tmp_path):
+        """The lost-update drill: disjoint merges from many threads."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = PersistentPerfCache(tmp_path)
+        snapshots = [
+            CacheSnapshot(fingerprint=FP, work={(i, i, True): float(i)})
+            for i in range(16)
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(cache.merge, snapshots))
+        loaded = cache.load(FP)
+        assert set(loaded.work) == {(i, i, True) for i in range(16)}
+
+
 class TestColdStartOnBadFiles:
     def test_missing_file(self, tmp_path):
         assert PersistentPerfCache(tmp_path).load(FP) is None

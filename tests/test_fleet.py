@@ -231,6 +231,42 @@ class TestFaultInjection:
         with pytest.raises(ValueError, match="targets replica"):
             FaultSchedule.single(5, down_at=1.0).validate(2)
 
+    def test_fault_schedule_rejects_overlaps(self):
+        # Two holes in time on the same replica must not intersect: the
+        # second down_at would crash an already-down slot.
+        with pytest.raises(ValueError, match="overlapping faults on replica 1"):
+            FaultSchedule(
+                faults=(
+                    ReplicaFault(1, down_at=0.5, up_at=2.0),
+                    ReplicaFault(1, down_at=1.0, up_at=3.0),
+                )
+            ).validate(2)
+        # A fault that never recovers overlaps everything after it.
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultSchedule(
+                faults=(
+                    ReplicaFault(0, down_at=1.0),
+                    ReplicaFault(0, down_at=5.0, up_at=6.0),
+                )
+            ).validate(2)
+        # Declaration order must not matter: the same overlap listed
+        # later-fault-first is still caught.
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultSchedule(
+                faults=(
+                    ReplicaFault(0, down_at=5.0, up_at=6.0),
+                    ReplicaFault(0, down_at=1.0),
+                )
+            ).validate(2)
+        # Back-to-back faults and cross-replica overlap stay legal.
+        FaultSchedule(
+            faults=(
+                ReplicaFault(0, down_at=1.0, up_at=2.0),
+                ReplicaFault(0, down_at=2.0, up_at=3.0),
+                ReplicaFault(1, down_at=1.5, up_at=2.5),
+            )
+        ).validate(2)
+
     def test_poisson_schedule_deterministic(self):
         a = FaultSchedule.poisson(4, rate=0.3, mean_downtime=2.0, horizon=30.0, seed=3)
         b = FaultSchedule.poisson(4, rate=0.3, mean_downtime=2.0, horizon=30.0, seed=3)

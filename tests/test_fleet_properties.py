@@ -36,13 +36,22 @@ def _quantize(value: float) -> float:
 @st.composite
 def fault_schedules(draw, num_replicas: int):
     faults = []
+    # Per-replica cursor keeps the generated windows disjoint in time:
+    # overlapping same-replica faults are rejected by
+    # ``FaultSchedule.validate`` by design, so conservation only has to
+    # hold for schedules that pass validation.
+    next_free: dict[int, float | None] = {}
     for _ in range(draw(st.integers(min_value=0, max_value=3))):
         replica = draw(st.integers(min_value=0, max_value=num_replicas - 1))
-        down_at = _quantize(draw(st.floats(min_value=0.0, max_value=0.8)))
+        if replica in next_free and next_free[replica] is None:
+            continue  # already down forever: anything later would overlap
+        start = next_free.get(replica, 0.0)
+        down_at = _quantize(start + draw(st.floats(min_value=0.0, max_value=0.8)))
         if draw(st.booleans()):
             up_at = _quantize(down_at + draw(st.floats(min_value=0.05, max_value=0.5)))
         else:
             up_at = None
+        next_free[replica] = up_at
         faults.append(ReplicaFault(replica, down_at, up_at))
     return FaultSchedule(tuple(faults))
 

@@ -1,0 +1,218 @@
+"""Tests for the run ledger (``repro.runtime.ledger``).
+
+The journal's contract: every recorded outcome replays bit-identically
+on resume, any damaged line degrades to recomputing that one cell, and
+a ledger can never be replayed against a different sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    RunLedger,
+    TaskOutcome,
+    corrupt_file,
+    decode_outcome,
+    encode_outcome,
+    map_tasks,
+    sweep_fingerprint,
+)
+
+FP = "ab" * 32
+# Shares the first 16 chars (the ledger filename) with FP but differs
+# beyond them — exercises the full-fingerprint header check.
+FP_COLLIDING = FP[:16] + "c" * 48
+
+values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(),
+    st.tuples(st.integers(), st.floats(allow_nan=False)),
+    st.lists(st.integers(), max_size=5),
+)
+
+outcomes = st.builds(
+    TaskOutcome,
+    index=st.integers(0, 10_000),
+    value=values,
+    worker_pid=st.integers(1, 1 << 22),
+    seconds=st.floats(0, 1e6, allow_nan=False),
+    attempt=st.integers(0, 5),
+    resumed=st.just(False),
+)
+
+
+def outcome_of(index: int, value) -> TaskOutcome:
+    return TaskOutcome(index=index, value=value, worker_pid=1234, seconds=0.5)
+
+
+def triple_and_mark(arg: tuple[int, str]) -> int:
+    """Marks each computed item on disk so tests can count recomputes."""
+    x, marker_dir = arg
+    (Path(marker_dir) / f"computed-{x}").touch()
+    return x * 3
+
+
+class TestEncodeDecode:
+    @given(outcome=outcomes)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_is_exact(self, outcome):
+        decoded = decode_outcome(encode_outcome(outcome))
+        assert decoded is not None
+        assert decoded.index == outcome.index
+        assert decoded.value == outcome.value  # pickle: bit-exact floats
+        assert decoded.worker_pid == outcome.worker_pid
+        assert decoded.seconds == outcome.seconds
+        assert decoded.attempt == outcome.attempt
+        assert decoded.resumed is True  # replayed records are marked
+
+    @given(outcome=outcomes, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_char_corruption_is_rejected(self, outcome, data):
+        """The self-checksum catches every one-character mutation."""
+        line = encode_outcome(outcome)
+        position = data.draw(st.integers(0, len(line) - 1))
+        replacement = data.draw(st.sampled_from('x0Z}"'))
+        assume(line[position] != replacement)
+        corrupt = line[:position] + replacement + line[position + 1:]
+        assert decode_outcome(corrupt) is None
+
+    def test_garbage_lines_are_rejected(self):
+        assert decode_outcome("") is None
+        assert decode_outcome("not json at all") is None
+        assert decode_outcome("[1, 2, 3]") is None
+        assert decode_outcome('{"kind": "header"}') is None
+        assert decode_outcome('{"kind": "task", "index": 0}') is None
+
+
+class TestSweepFingerprint:
+    def test_stable_across_calls(self):
+        items = [1, "two", (3, 4)]
+        assert sweep_fingerprint(triple_and_mark, items) == sweep_fingerprint(
+            triple_and_mark, items
+        )
+
+    def test_sensitive_to_order_content_and_function(self):
+        base = sweep_fingerprint(triple_and_mark, [1, 2, 3])
+        assert sweep_fingerprint(triple_and_mark, [2, 1, 3]) != base
+        assert sweep_fingerprint(triple_and_mark, [1, 2]) != base
+        assert sweep_fingerprint(triple_and_mark, [1, 2, 4]) != base
+        assert sweep_fingerprint(outcome_of, [1, 2, 3]) != base
+
+
+class TestRunLedger:
+    def test_record_then_load_round_trips(self, tmp_path):
+        ledger = RunLedger(tmp_path, FP)
+        with ledger:
+            assert ledger.start(num_tasks=3, resume=False) == {}
+            ledger.record(outcome_of(0, "a"))
+            ledger.record(outcome_of(2, (1.5, None)))
+        loaded = ledger.load()
+        assert sorted(loaded) == [0, 2]
+        assert loaded[0].value == "a"
+        assert loaded[2].value == (1.5, None)
+        assert all(outcome.resumed for outcome in loaded.values())
+
+    def test_later_record_wins_for_same_index(self, tmp_path):
+        ledger = RunLedger(tmp_path, FP)
+        with ledger:
+            ledger.start(num_tasks=1, resume=False)
+            ledger.record(outcome_of(0, "first"))
+            ledger.record(outcome_of(0, "second"))
+        assert ledger.load()[0].value == "second"
+
+    def test_foreign_fingerprint_reads_empty(self, tmp_path):
+        with RunLedger(tmp_path, FP) as ledger:
+            ledger.start(num_tasks=1, resume=False)
+            ledger.record(outcome_of(0, "a"))
+        foreign = RunLedger(tmp_path, FP_COLLIDING)
+        assert foreign.path == RunLedger(tmp_path, FP).path  # same file...
+        assert foreign.load() == {}  # ...but the header check rejects it
+
+    def test_corrupt_line_skips_only_that_cell(self, tmp_path):
+        ledger = RunLedger(tmp_path, FP)
+        with ledger:
+            ledger.start(num_tasks=3, resume=False)
+            for index in range(3):
+                ledger.record(outcome_of(index, index * 10))
+        lines = ledger.path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # tear record for index 1
+        ledger.path.write_text("\n".join(lines) + "\n")
+        assert sorted(ledger.load()) == [0, 2]
+
+    def test_resume_compacts_damage_away(self, tmp_path):
+        ledger = RunLedger(tmp_path, FP)
+        with ledger:
+            ledger.start(num_tasks=2, resume=False)
+            ledger.record(outcome_of(0, "keep"))
+        with ledger.path.open("a") as handle:
+            handle.write("%% torn garbage line %%\n")
+        with RunLedger(tmp_path, FP) as reopened:
+            recorded = reopened.start(num_tasks=2, resume=True)
+            assert sorted(recorded) == [0]
+        assert "garbage" not in ledger.path.read_text()
+
+    def test_fresh_start_truncates(self, tmp_path):
+        ledger = RunLedger(tmp_path, FP)
+        with ledger:
+            ledger.start(num_tasks=1, resume=False)
+            ledger.record(outcome_of(0, "old"))
+        with RunLedger(tmp_path, FP) as reopened:
+            assert reopened.start(num_tasks=1, resume=False) == {}
+        assert ledger.load() == {}
+
+
+class TestMapTasksResume:
+    def test_resume_recomputes_only_missing_cells(self, tmp_path):
+        run_dir = tmp_path / "run"
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        items = [(i, str(markers)) for i in range(6)]
+
+        first = map_tasks(triple_and_mark, items, jobs=1, run_dir=run_dir)
+        assert first.ok and first.num_resumed == 0
+        assert len(list(markers.glob("computed-*"))) == 6
+
+        # Simulate a sweep killed after cell 3: drop the last two records.
+        ledger_path = next(run_dir.glob("ledger-*.jsonl"))
+        lines = ledger_path.read_text().splitlines()
+        ledger_path.write_text("\n".join(lines[:5]) + "\n")  # header + 4 cells
+        for marker in markers.glob("computed-*"):
+            marker.unlink()
+
+        second = map_tasks(triple_and_mark, items, jobs=1, run_dir=run_dir, resume=True)
+        assert second.values == first.values  # bit-identical resume
+        assert second.num_resumed == 4
+        recomputed = sorted(
+            int(p.name.split("-")[1]) for p in markers.glob("computed-*")
+        )
+        assert recomputed == [4, 5]  # exactly the missing cells
+        resumed_indices = {o.index for o in second.outcomes if o.resumed}
+        assert resumed_indices == {0, 1, 2, 3}
+
+    def test_corrupted_ledger_degrades_to_recompute(self, tmp_path):
+        run_dir = tmp_path / "run"
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        items = [(i, str(markers)) for i in range(6)]
+
+        first = map_tasks(triple_and_mark, items, jobs=1, run_dir=run_dir)
+        ledger_path = next(run_dir.glob("ledger-*.jsonl"))
+        assert corrupt_file(ledger_path, seed=7, num_bytes=16) > 0
+
+        second = map_tasks(triple_and_mark, items, jobs=1, run_dir=run_dir, resume=True)
+        assert second.ok
+        assert second.values == first.values  # recomputed cells match exactly
+
+    def test_without_resume_flag_ledger_is_ignored(self, tmp_path):
+        items = [(i, str(tmp_path)) for i in range(3)]
+        map_tasks(triple_and_mark, items, jobs=1, run_dir=tmp_path / "run")
+        report = map_tasks(triple_and_mark, items, jobs=1, run_dir=tmp_path / "run")
+        assert report.num_resumed == 0
+        assert all(not o.resumed for o in report.outcomes)

@@ -1,0 +1,203 @@
+"""Tests for the supervised executor (``repro.runtime.supervisor``).
+
+The contract under test is survival without divergence: worker death,
+hangs and poison tasks must never abort a sweep, and every recovered
+run must produce output bit-identical to the unfaulted serial run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import (
+    ChaosConfig,
+    SupervisorPolicy,
+    SweepFailedError,
+    map_tasks,
+    run_supervised,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def square(x: int) -> int:  # module-level: picklable for worker processes
+    return x * x
+
+
+def double_or_poison(x: int) -> int:
+    if x < 0:
+        raise ValueError(f"poison item {x}")
+    return x * 2
+
+
+def flaky_once(arg: tuple[int, str]) -> int:
+    """Fails the first time each item is attempted, succeeds after.
+
+    The marker lives on disk, so the "have I been tried" state survives
+    worker-process boundaries and the retry lands on a clean slate.
+    """
+    x, marker_dir = arg
+    marker = Path(marker_dir) / f"attempted-{x}"
+    if not marker.exists():
+        marker.touch()
+        raise RuntimeError(f"transient failure on item {x}")
+    return x + 100
+
+
+def interrupt_at_three(x: int) -> int:
+    if x == 3:
+        raise KeyboardInterrupt
+    return x
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            SupervisorPolicy(task_timeout=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisorPolicy(max_retries=-1)
+
+
+class TestWorkerDeathRecovery:
+    def test_kill_chaos_matches_serial(self):
+        """Seeded worker kills are retried to a bit-identical result."""
+        items = list(range(10))
+        chaos = ChaosConfig(seed=3, kill_rate=0.5)
+        # The plan must actually kill something, or this test is vacuous.
+        assert any(chaos.decision(i, 0) == "kill" for i in range(len(items)))
+
+        serial = map_tasks(square, items, jobs=1)
+        chaotic = map_tasks(square, items, jobs=3, chaos=chaos)
+        assert chaotic.values == serial.values
+        assert chaotic.ok
+        assert chaotic.num_retries > 0
+        assert chaotic.num_respawns > 0
+
+    def test_death_with_no_retries_quarantines(self):
+        """kill_rate=1 + max_retries=0: every cell dies and is recorded."""
+        report = map_tasks(
+            square,
+            list(range(3)),
+            jobs=2,
+            chaos=ChaosConfig(seed=0, kill_rate=1.0),
+            max_retries=0,
+            strict=False,
+        )
+        assert not report.outcomes
+        assert len(report.failures) == 3
+        assert all(f.kind == "worker-death" for f in report.failures)
+        assert all(f.attempts == 1 for f in report.failures)
+        assert all(f.worker_pid is None for f in report.failures)
+
+    def test_strict_death_raises_sweep_failed(self):
+        with pytest.raises(SweepFailedError, match="failed permanently"):
+            map_tasks(
+                square,
+                list(range(3)),
+                jobs=2,
+                chaos=ChaosConfig(seed=0, kill_rate=1.0),
+                max_retries=0,
+            )
+
+
+class TestHangRecovery:
+    def test_hung_tasks_are_reaped_and_retried(self):
+        """A wedged worker is killed at the task timeout, then retried."""
+        items = list(range(6))
+        chaos = ChaosConfig(seed=2, hang_rate=0.4, hang_seconds=30.0)
+        assert any(chaos.decision(i, 0) == "hang" for i in range(len(items)))
+
+        serial = map_tasks(square, items, jobs=1)
+        recovered = map_tasks(
+            square, items, jobs=2, chaos=chaos, task_timeout=1.0
+        )
+        assert recovered.values == serial.values
+        assert recovered.ok
+        assert recovered.num_respawns >= 1
+
+    def test_persistent_hang_quarantines_as_timeout(self):
+        report = map_tasks(
+            square,
+            list(range(2)),
+            jobs=2,
+            chaos=ChaosConfig(seed=0, hang_rate=1.0, hang_seconds=30.0),
+            task_timeout=0.5,
+            max_retries=0,
+            strict=False,
+        )
+        assert not report.outcomes
+        assert len(report.failures) == 2
+        assert all(f.kind == "timeout" for f in report.failures)
+        assert all("timeout" in f.error for f in report.failures)
+
+
+class TestPoisonQuarantine:
+    def test_strict_raises_with_structured_failures(self):
+        with pytest.raises(SweepFailedError) as excinfo:
+            map_tasks(double_or_poison, [1, 2, -3, 4], jobs=2, max_retries=1)
+        report = excinfo.value.report
+        assert [f.index for f in report.failures] == [2]
+        failure = report.failures[0]
+        assert failure.kind == "exception"
+        assert "ValueError" in failure.error and "poison item -3" in failure.error
+        assert "double_or_poison" in failure.traceback
+        assert failure.attempts == 2  # first try + one retry
+        assert failure.worker_pid is not None  # in-worker raise keeps the pid
+        # The healthy cells still completed alongside the poison one.
+        assert [o.index for o in report.outcomes] == [0, 1, 3]
+
+    def test_degraded_completion_returns_partial_report(self):
+        report = map_tasks(
+            double_or_poison, [1, 2, -3, 4], jobs=2, max_retries=1, strict=False
+        )
+        assert not report.ok
+        assert report.values == [2, 4, 8]
+        assert [f.index for f in report.failures] == [2]
+
+    def test_serial_path_quarantines_after_one_attempt(self):
+        report = map_tasks(double_or_poison, [1, -2, 3], jobs=1, strict=False)
+        assert report.values == [2, 6]
+        assert [f.index for f in report.failures] == [1]
+        assert report.failures[0].attempts == 1
+
+    def test_transient_failure_survives_on_retry(self, tmp_path):
+        items = [(i, str(tmp_path)) for i in range(4)]
+        report = map_tasks(flaky_once, items, jobs=2, max_retries=2)
+        assert report.values == [100, 101, 102, 103]
+        assert all(o.attempt == 1 for o in report.outcomes)
+        assert report.num_retries == 4
+
+
+class TestInterruption:
+    def test_interrupt_returns_partial_run(self):
+        """KeyboardInterrupt mid-loop yields a report, not an exception."""
+        seen: list[int] = []
+
+        def interrupt_after_first(outcome):
+            seen.append(outcome.index)
+            raise KeyboardInterrupt
+
+        run = run_supervised(
+            square,
+            list(enumerate(range(6))),
+            jobs=2,
+            policy=SupervisorPolicy(),
+            on_complete=interrupt_after_first,
+        )
+        assert run.interrupted
+        assert not run.failures
+        assert len(run.outcomes) >= 1
+        assert seen[0] in run.outcomes
+
+    def test_serial_interrupt_returns_completed_prefix(self):
+        report = map_tasks(interrupt_at_three, list(range(6)), jobs=1)
+        assert report.interrupted
+        assert not report.ok
+        # strict=True must NOT raise for an interrupted run — the
+        # partial report is the contract, so the caller can resume.
+        assert [o.index for o in report.outcomes] == [0, 1, 2]
+        assert not report.failures
