@@ -24,6 +24,14 @@ Cases:
 * **capacity_grid_disk_cache** — the same grid's first (cold) disk-
   cached run vs its fully-warm rerun in a fresh process registry; the
   warm run must win by ≥1.5x and change nothing.
+* **vectorized_replica_1e6** — the object engine vs the vectorized
+  event core on a 10⁶-request single-replica decode-heavy trace
+  (uncached→object, cached→vectorized columns).  The full run drives
+  the vectorized core end-to-end; the speedup is measured at equal N
+  on the same trace with both engines capped at the same simulated
+  horizon, where the outputs must be bit-identical.
+* **vectorized_fleet_1e6** — the same comparison through the online
+  fleet simulator: 10⁶ requests routed across 100 replicas.
 
 Usage::
 
@@ -36,6 +44,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 import tempfile
 import time
@@ -46,7 +55,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.api import Deployment, execution_model_for  # noqa: E402
+from repro.api import (  # noqa: E402
+    Deployment,
+    ServingConfig,
+    build_engine,
+    execution_model_for,
+)
+from repro.cluster.fleet import FleetConfig, simulate_fleet  # noqa: E402
 from repro.experiments.capacity_runner import (  # noqa: E402
     CapacityCellSpec,
     measure_capacity,
@@ -65,7 +80,7 @@ from repro.reporting import (  # noqa: E402
     write_bench_json,
 )
 from repro.runtime import clear_process_models  # noqa: E402
-from repro.types import SchedulerKind  # noqa: E402
+from repro.types import Request, SchedulerKind  # noqa: E402
 from repro.workload.datasets import ARXIV_SUMMARIZATION, SHAREGPT4  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulator.json"
@@ -315,6 +330,174 @@ def _timed_parallel_grid(
     ]
 
 
+# ----------------------------------------------------------------------
+# Vectorized event core vs the object golden reference
+# ----------------------------------------------------------------------
+# Decode-heavy shape (short prompts, long generations) at saturating
+# load: this is where the object engine's per-token bookkeeping
+# dominates and the vectorized core's bulk decode path pays off.
+VEC_NUM_REQUESTS = 1_000_000
+VEC_QUICK_REQUESTS = 5_000
+VEC_FLEET_REPLICAS = 100
+# The fleet case spreads its token volume over fewer, longer requests
+# (output 320–960) arriving as a flood: routing cost is per-arrival
+# and engine-independent, and flooding keeps per-replica batches full,
+# so the measurement stays about the engines rather than the router.
+VEC_FLEET_REQUESTS = 20_000
+VEC_FLEET_QUICK_REQUESTS = 1_000
+# Completions cluster in the back half of a flooded run (every request
+# decodes concurrently), so the fleet cap must reach past the first
+# finishers for the capped runs to have metrics at all.
+VEC_FLEET_CAP_FRACTION = 0.5
+# Fraction of the simulated horizon both engines replay for the
+# equal-N speedup measurement in the full harness (the object engine
+# at the full 10⁶-request horizon would run for the better part of an
+# hour; the capped prefix is identical work for both engines).
+VEC_CAP_FRACTION = 0.08
+
+_VEC_CONFIG = dict(
+    scheduler=SchedulerKind.SARATHI, token_budget=512, max_batch_size=256
+)
+
+
+def _vec_trace(
+    num_requests: int, seed: int, qps: float, output_range: tuple[int, int] = (32, 96)
+) -> list[Request]:
+    """Synthetic decode-heavy trace; regenerated (not cloned) per run."""
+    rng = random.Random(seed)
+    now = 0.0
+    trace = []
+    for _ in range(num_requests):
+        now += rng.expovariate(qps)
+        trace.append(
+            Request(
+                prompt_len=rng.randint(32, 96),
+                output_len=rng.randint(*output_range),
+                arrival_time=now,
+            )
+        )
+    return trace
+
+
+def _vec_timelines(result) -> list[tuple]:
+    # request_id is a process-global counter, so the regenerated trace
+    # of the second run carries different ids; sorting by id preserves
+    # generation order, which is what aligns the two runs.
+    return [
+        (
+            r.first_scheduled_at,
+            r.first_token_at,
+            r.finished_at,
+            tuple(r.token_times),
+            r.num_restarts,
+        )
+        for r in sorted(result.requests, key=lambda r: r.request_id)
+    ]
+
+
+def _vec_identical(golden, candidate) -> bool:
+    return (
+        golden.makespan == candidate.makespan
+        and len(golden.records) == len(candidate.records)
+        and _vec_timelines(golden) == _vec_timelines(candidate)
+    )
+
+
+def _timed_vectorized_replica(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+    """10⁶-request single-replica trace, object vs vectorized core."""
+    num_requests = VEC_QUICK_REQUESTS if quick else VEC_NUM_REQUESTS
+    qps = 2_000.0
+
+    def run(engine: str, max_time: float | None = None):
+        config = ServingConfig(engine=engine, **_VEC_CONFIG)
+        built = build_engine(deployment, config)
+        trace = _vec_trace(num_requests, seed, qps)
+        start = time.perf_counter()
+        result = built.run(trace, max_time=max_time)
+        return time.perf_counter() - start, result
+
+    vec_full_s, vec_full = run("vectorized")
+    if quick:
+        obj_s, obj = run("object")
+        vec_s, vec = vec_full_s, vec_full
+        horizon = "full trace"
+    else:
+        cap = VEC_CAP_FRACTION * vec_full.makespan
+        obj_s, obj = run("object", max_time=cap)
+        vec_s, vec = run("vectorized", max_time=cap)
+        finished = len(obj.finished_requests)
+        horizon = (
+            f"equal-N capped at {cap:.0f}s simulated "
+            f"(~{finished} of {num_requests} finished)"
+        )
+    return BenchCase(
+        name="vectorized_replica_1e6",
+        uncached_seconds=obj_s,
+        cached_seconds=vec_s,
+        identical=_vec_identical(obj, vec),
+        detail=(
+            f"{deployment.label}, sarathi budget=512 batch=256, "
+            f"{num_requests} decode-heavy requests @ {qps:.0f} qps, seed={seed}; "
+            f"{horizon}; vectorized full trace: {vec_full_s:.1f}s wall, "
+            f"makespan {vec_full.makespan:.0f}s"
+        ),
+    )
+
+
+def _timed_vectorized_fleet(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+    """The same comparison through the 100-replica online fleet.
+
+    Long generations (output 320–960) keep the per-arrival routing
+    overhead, which both engines pay identically, a small fraction of
+    the per-token engine work being compared.
+    """
+    num_requests = VEC_FLEET_QUICK_REQUESTS if quick else VEC_FLEET_REQUESTS
+    qps = 2_000.0 if quick else 50_000.0
+    output_range = (320, 960)
+    cap_fraction = VEC_FLEET_CAP_FRACTION
+    fleet_config = FleetConfig(num_replicas=VEC_FLEET_REPLICAS)
+
+    def run(engine: str, max_time: float | None = None):
+        config = ServingConfig(engine=engine, **_VEC_CONFIG)
+        trace = _vec_trace(num_requests, seed, qps, output_range)
+        start = time.perf_counter()
+        result, metrics = simulate_fleet(
+            deployment, config, trace, fleet_config, max_time=max_time
+        )
+        return time.perf_counter() - start, result, metrics
+
+    vec_full_s, vec_full, vec_full_metrics = run("vectorized")
+    if quick:
+        obj_s, obj, obj_metrics = run("object")
+        vec_s, vec, vec_metrics = vec_full_s, vec_full, vec_full_metrics
+        horizon = "full trace"
+    else:
+        cap = cap_fraction * vec_full.makespan
+        obj_s, obj, obj_metrics = run("object", max_time=cap)
+        vec_s, vec, vec_metrics = run("vectorized", max_time=cap)
+        finished = sum(1 for r in obj.merged().requests if r.is_finished)
+        horizon = (
+            f"equal-N capped at {cap:.1f}s simulated "
+            f"(~{finished} of {num_requests} finished)"
+        )
+    identical = (
+        _vec_timelines(obj.merged()) == _vec_timelines(vec.merged())
+        and obj_metrics == vec_metrics
+    )
+    return BenchCase(
+        name="vectorized_fleet_1e6",
+        uncached_seconds=obj_s,
+        cached_seconds=vec_s,
+        identical=identical,
+        detail=(
+            f"{deployment.label} × {VEC_FLEET_REPLICAS} replicas, "
+            f"{num_requests} decode-heavy requests @ {qps:.0f} qps, seed={seed}; "
+            f"{horizon}; vectorized full trace: {vec_full_s:.1f}s wall, "
+            f"makespan {vec_full.makespan:.1f}s"
+        ),
+    )
+
+
 def bench_simulator_cache_speed(benchmark, report):
     """pytest entry: quick variant of the harness, same assertions."""
     deployment = Deployment(model=TINY_1B, gpu=A100_80G)
@@ -386,7 +569,14 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=Path(cache_dir),
             quick=args.quick,
         )
-    cases = [sweep_case, hybrid_case, *grid_cases]
+    # The vectorized-engine cases always run on the tiny deployment:
+    # the point is event-core overhead at large N, not model pricing.
+    vec_deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+    print("timing vectorized engine (single replica)…", flush=True)
+    vec_replica_case = _timed_vectorized_replica(vec_deployment, args.quick, args.seed)
+    print("timing vectorized engine (100-replica fleet)…", flush=True)
+    vec_fleet_case = _timed_vectorized_fleet(vec_deployment, args.quick, args.seed)
+    cases = [sweep_case, hybrid_case, *grid_cases, vec_replica_case, vec_fleet_case]
 
     print()
     print(render_bench_table(cases))

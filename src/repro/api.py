@@ -9,11 +9,14 @@ use.  A ``Deployment`` pins the model/hardware/parallelism triple; a
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.core.dynamic import DynamicSarathiScheduler
 from repro.core.sarathi import SarathiScheduler
+from repro.engine.arrays import RequestArrays
 from repro.engine.replica import ReplicaEngine, SimulationResult
+from repro.engine.vectorized import VectorizedReplicaEngine
 from repro.perf.profiler import derive_slo
 from repro.hardware.gpu import GPUSpec
 from repro.memory.block_manager import (
@@ -40,6 +43,16 @@ from repro.scheduling.ablations import (
 from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
 from repro.scheduling.faster_transformer import FasterTransformerScheduler
 from repro.scheduling.orca import OrcaScheduler
+from repro.scheduling.vectorized import (
+    VecChunkedPrefillsOnlyScheduler,
+    VecFasterTransformerScheduler,
+    VecOrcaScheduler,
+    VecPagedMemory,
+    VecReservationMemory,
+    VecSarathiScheduler,
+    VecScheduler,
+    VecVLLMScheduler,
+)
 from repro.scheduling.vllm import VLLMScheduler
 from repro.types import PreemptionMode, Request, SchedulerKind
 
@@ -97,6 +110,14 @@ class ServingConfig:
     # analytical model or to bisect a suspected cache bug.
     perf_cache: bool = True
     perf_cache_max_entries: int = DEFAULT_MAX_ENTRIES
+    # Which event-loop implementation runs the simulation: "object"
+    # (the golden reference) or "vectorized" (array-backed, pp=1 only,
+    # bit-identical by contract — see DESIGN.md §10).  The default can
+    # be flipped process-wide with the REPRO_ENGINE environment
+    # variable; the CLI exposes it as --engine.
+    engine: str = field(
+        default_factory=lambda: os.environ.get("REPRO_ENGINE", "object")
+    )
 
     def __post_init__(self) -> None:
         # Validate at construction time so a bad knob fails where it was
@@ -127,6 +148,10 @@ class ServingConfig:
             raise ValueError(
                 "perf_cache_max_entries must be positive, "
                 f"got {self.perf_cache_max_entries}"
+            )
+        if self.engine not in ("object", "vectorized"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'object' or 'vectorized'"
             )
         # Normalize to the enum (raises a naming error on typos); plain
         # strings keep working thanks to PreemptionMode's str mixin.
@@ -228,18 +253,90 @@ def build_scheduler(
     raise ValueError(f"unknown scheduler kind {kind!r}")
 
 
+def build_vectorized_scheduler(
+    deployment: Deployment, config: ServingConfig
+) -> VecScheduler:
+    """Construct the array-backed scheduler core (and its memory)."""
+    kind = config.scheduler
+    arrays = RequestArrays()
+    if kind in (SchedulerKind.FASTER_TRANSFORMER, SchedulerKind.ORCA):
+        capacity = deployment.kv_capacity_tokens(reservation_style=True)
+        memory = VecReservationMemory(arrays, capacity, reserve_len=config.reserve_len)
+        if kind is SchedulerKind.FASTER_TRANSFORMER:
+            return VecFasterTransformerScheduler(
+                arrays, memory, config.max_batch_size
+            )
+        return VecOrcaScheduler(arrays, memory, config.max_batch_size)
+    capacity = deployment.kv_capacity_tokens(reservation_style=False)
+    paged = VecPagedMemory(arrays, capacity, block_size=config.block_size)
+    kv_bytes = deployment.model.kv_bytes_per_token
+    if kind is SchedulerKind.VLLM:
+        return VecVLLMScheduler(
+            arrays,
+            paged,
+            config.max_batch_size,
+            preemption_mode=config.preemption_mode,
+            kv_bytes_per_token=kv_bytes,
+        )
+    if kind is SchedulerKind.SARATHI:
+        return VecSarathiScheduler(
+            arrays,
+            paged,
+            token_budget=config.token_budget,
+            max_batch_size=config.max_batch_size,
+            preemption_mode=config.preemption_mode,
+            kv_bytes_per_token=kv_bytes,
+        )
+    if kind is SchedulerKind.CHUNKED_ONLY:
+        return VecChunkedPrefillsOnlyScheduler(
+            arrays,
+            paged,
+            token_budget=config.token_budget,
+            max_batch_size=config.max_batch_size,
+        )
+    if kind is SchedulerKind.HYBRID_ONLY:
+        core = VecSarathiScheduler(
+            arrays,
+            paged,
+            token_budget=config.token_budget,
+            max_batch_size=config.max_batch_size,
+            chunk_prefills=False,
+            preemption_mode=config.preemption_mode,
+            kv_bytes_per_token=kv_bytes,
+        )
+        core.name = "hybrid-batching-only"
+        return core
+    raise ValueError(
+        f"the vectorized engine does not support scheduler {kind!r} "
+        "(dynamic budget control needs per-candidate iteration pricing); "
+        "use engine='object'"
+    )
+
+
 def build_engine(
     deployment: Deployment,
     config: ServingConfig,
     exec_model: ExecutionModel | None = None,
-) -> ReplicaEngine:
+) -> ReplicaEngine | VectorizedReplicaEngine:
     """A fresh engine ready to ``run`` a request trace.
 
     Passing ``exec_model`` overrides ``config.perf_cache`` — the caller
     owns the model (typically to share one warm cache across engines).
+    ``config.engine`` selects the implementation; both produce
+    bit-identical results on the configurations the vectorized engine
+    supports (pp=1, non-dynamic schedulers).
     """
     if exec_model is None:
         exec_model = execution_model_for(deployment, config)
+    if config.engine == "vectorized":
+        if deployment.parallel.pipeline_parallel != 1:
+            raise ValueError(
+                "engine='vectorized' supports single-stage (pp=1) deployments "
+                f"only, got pipeline_parallel={deployment.parallel.pipeline_parallel}"
+            )
+        return VectorizedReplicaEngine(
+            exec_model, build_vectorized_scheduler(deployment, config)
+        )
     return ReplicaEngine(
         exec_model,
         build_scheduler(deployment, config, exec_model=exec_model),

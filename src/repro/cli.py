@@ -46,6 +46,24 @@ def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["object", "vectorized"],
+        default=None,
+        help="simulation core (default object, or REPRO_ENGINE); the "
+        "vectorized core is bit-identical and much faster at scale",
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Only override ServingConfig.engine when --engine was given, so
+    the REPRO_ENGINE environment default keeps working."""
+    if getattr(args, "engine", None) is None:
+        return {}
+    return {"engine": args.engine}
+
+
 def _add_perf_cache_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--perf-cache",
@@ -155,10 +173,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scheduler=SchedulerKind(args.scheduler),
         token_budget=args.token_budget,
         perf_cache=_perf_cache_from(args),
+        **_engine_kwargs(args),
     )
     result, metrics = simulate(deployment, config, trace)
     print(f"deployment: {deployment.label}")
     print(f"scheduler:  {args.scheduler} (budget {args.token_budget})")
+    if result.engine_stats is not None:
+        stats = result.engine_stats
+        print(
+            f"engine:     {stats.kind} ({stats.num_events} events, "
+            f"{stats.num_batches} batches, {stats.wall_time_s:.2f}s wall)"
+        )
     print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
     if result.cache_stats is not None:
         stats = result.cache_stats
@@ -198,6 +223,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         scheduler=SchedulerKind(args.scheduler),
         token_budget=args.token_budget,
         perf_cache=_perf_cache_from(args),
+        **_engine_kwargs(args),
     )
     slo = derived_slo(deployment.execution_model(), strict=False)
     horizon = max(r.arrival_time for r in trace) + 30.0
@@ -373,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--requests", type=int, default=128)
     sim.add_argument("--token-budget", type=int, default=512)
     sim.add_argument("--seed", type=int, default=0)
+    _add_engine_arg(sim)
     _add_perf_cache_arg(sim)
     sim.set_defaults(func=_cmd_simulate)
 
@@ -406,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="what happens when the routed replica's queue is full")
     fleet.add_argument("--sweep", action="store_true",
                        help="run the replicas × faults × load sweep instead")
+    _add_engine_arg(fleet)
     _add_sweep_args(fleet)
     _add_perf_cache_arg(fleet)
     fleet.set_defaults(func=_cmd_fleet)

@@ -42,7 +42,7 @@ from repro.cluster.router import (
     as_fleet_router,
 )
 from repro.engine.simulator import EventQueue
-from repro.engine.replica import ReplicaEngine, SimulationResult
+from repro.engine.replica import EngineStats, ReplicaEngine, SimulationResult
 from repro.metrics.stats import percentile
 from repro.metrics.summary import RunMetrics, summarize
 from repro.metrics.timeline import IterationRecord
@@ -310,10 +310,23 @@ class FleetResult:
         records: list[IterationRecord] = []
         num_stages = 0
         preemptions = 0
+        engine_stats = None
         for result in self.replica_results:
             records.extend(result.records)
             num_stages = max(num_stages, result.num_stages)
             preemptions += result.num_preemptions
+            stats = result.engine_stats
+            if stats is not None:
+                engine_stats = (
+                    stats
+                    if engine_stats is None
+                    else EngineStats(
+                        kind=stats.kind,
+                        num_events=engine_stats.num_events + stats.num_events,
+                        num_batches=engine_stats.num_batches + stats.num_batches,
+                        wall_time_s=engine_stats.wall_time_s + stats.wall_time_s,
+                    )
+                )
         return SimulationResult(
             requests=list(self.requests),
             records=records,
@@ -322,6 +335,7 @@ class FleetResult:
             num_preemptions=preemptions,
             unfinished=[r for r in self.requests if not r.is_finished],
             cache_stats=self.cache_stats,
+            engine_stats=engine_stats,
         )
 
 
@@ -353,7 +367,16 @@ class _ReplicaSlot:
         self._past_records: list[IterationRecord] = []
         self._past_preemptions = 0
         self._finished_past: list[Request] = []
+        self._past_events = 0
+        self._past_batches = 0
+        self._past_wall_s = 0.0
         self.recent_tbts: list[float] = []
+        # Memoized p99 over recent_tbts: routers snapshot every replica
+        # on every routing decision, but the window only changes when a
+        # token lands here — recomputing the percentile per snapshot
+        # dominated fleet wall-clock at high arrival rates.
+        self._p99_cache: float | None = None
+        self._p99_dirty = False
         self._boot()
 
     def _boot(self) -> None:
@@ -370,6 +393,15 @@ class _ReplicaSlot:
         self.recent_tbts.append(tbt)
         if len(self.recent_tbts) > self._tbt_window:
             del self.recent_tbts[: -self._tbt_window]
+        self._p99_dirty = True
+
+    def _recent_p99(self) -> float | None:
+        if self._p99_dirty:
+            self._p99_cache = (
+                percentile(self.recent_tbts, 99) if self.recent_tbts else None
+            )
+            self._p99_dirty = False
+        return self._p99_cache
 
     # -- event-loop interface -----------------------------------------
     def next_event_time(self) -> float | None:
@@ -389,20 +421,19 @@ class _ReplicaSlot:
                 kv_occupancy=0.0,
                 recent_p99_tbt=None,
             )
-        pending = self.engine.pending_requests()
-        outstanding = sum(r.remaining_prefill + r.remaining_output for r in pending)
+        # The engines expose these as gauges (the object engine scans,
+        # the vectorized engine keeps counters — same integers) so a
+        # router snapshot never forces a full state synchronization.
         scheduler = self.engine.scheduler
         return ReplicaSnapshot(
             index=self.index,
             alive=True,
             queue_depth=scheduler.num_waiting,
             num_running=scheduler.num_running,
-            num_pending=len(pending),
-            outstanding_tokens=outstanding,
+            num_pending=self.engine.num_pending(),
+            outstanding_tokens=self.engine.outstanding_tokens(),
             kv_occupancy=scheduler.memory.occupancy,
-            recent_p99_tbt=(
-                percentile(self.recent_tbts, 99) if self.recent_tbts else None
-            ),
+            recent_p99_tbt=self._recent_p99(),
         )
 
     # -- fault transitions --------------------------------------------
@@ -424,9 +455,14 @@ class _ReplicaSlot:
         self._finished_past.extend(
             r for r in self.engine.all_requests if r.is_finished
         )
+        stats = self.engine.engine_stats()
+        self._past_events += stats.num_events
+        self._past_batches += stats.num_batches
+        self._past_wall_s += stats.wall_time_s
         self.engine = None
         self.alive = False
         self.recent_tbts.clear()
+        self._p99_dirty = True
         for request in failed:
             if request.phase is not RequestPhase.QUEUED or request.context_len > 0:
                 request.restart_after_preemption()
@@ -444,10 +480,19 @@ class _ReplicaSlot:
         records = list(self._past_records)
         preemptions = self._past_preemptions
         requests = list(self._finished_past)
+        events = self._past_events
+        batches = self._past_batches
+        wall_s = self._past_wall_s
+        kind = self._config.engine
         if self.engine is not None:
             records.extend(self.engine.records)
             preemptions += self.engine.scheduler.num_preemptions
             requests.extend(self.engine.all_requests)
+            stats = self.engine.engine_stats()
+            events += stats.num_events
+            batches += stats.num_batches
+            wall_s += stats.wall_time_s
+            kind = stats.kind
         return SimulationResult(
             requests=requests,
             records=records,
@@ -456,6 +501,12 @@ class _ReplicaSlot:
             num_preemptions=preemptions,
             unfinished=[r for r in requests if not r.is_finished],
             cache_stats=cache_stats,
+            engine_stats=EngineStats(
+                kind=kind,
+                num_events=events,
+                num_batches=batches,
+                wall_time_s=wall_s,
+            ),
         )
 
 
@@ -505,6 +556,11 @@ class FleetSimulator:
         self.shed: list[Request] = []
         self.num_rejections = 0
         self.num_failovers = 0
+        # Per-slot next-event-time cache: every loop iteration mutates
+        # at most one slot (a step, a delivery, or a fault transition),
+        # so polling all N engines per event is N-1 parts waste.
+        self._slot_times: list[float | None] = [None] * fleet.num_replicas
+        self._slot_dirty: list[bool] = [True] * fleet.num_replicas
 
     # -- main loop -----------------------------------------------------
     def run(
@@ -546,6 +602,7 @@ class FleetSimulator:
                 self._handle(kind, payload, now, queue)
             else:
                 now = self.replicas[replica_idx].engine.step()
+                self._slot_dirty[replica_idx] = True
 
         cache_stats = getattr(self.exec_model, "cache_stats", None)
         result = FleetResult(
@@ -572,12 +629,17 @@ class FleetSimulator:
         return result
 
     def _next_replica_event(self) -> tuple[float | None, int]:
+        times = self._slot_times
+        dirty = self._slot_dirty
         best_time: float | None = None
         best_idx = -1
-        for slot in self.replicas:
-            t = slot.next_event_time()
+        for i, slot in enumerate(self.replicas):
+            if dirty[i]:
+                times[i] = slot.next_event_time()
+                dirty[i] = False
+            t = times[i]
             if t is not None and (best_time is None or t < best_time):
-                best_time, best_idx = t, slot.index
+                best_time, best_idx = t, i
         return best_time, best_idx
 
     # -- event handlers ------------------------------------------------
@@ -597,6 +659,7 @@ class FleetSimulator:
         if not slot.alive:
             return
         failed = slot.crash(now)
+        self._slot_dirty[index] = True
         self.events.append(
             FleetEvent(time=now, kind="fault_down", replica=index, reason=f"{len(failed)} failed over")
         )
@@ -619,6 +682,7 @@ class FleetSimulator:
         if slot.alive:
             return
         slot.restore(now)
+        self._slot_dirty[index] = True
         self.events.append(FleetEvent(time=now, kind="fault_up", replica=index))
 
     def _route(
@@ -663,6 +727,7 @@ class FleetSimulator:
                 self._reject(request, attempt, now, queue, choice, "queue_full")
                 return
         self.replicas[choice].engine.deliver(request, now)
+        self._slot_dirty[choice] = True
         self.assignments.setdefault(request.request_id, choice)
         self.events.append(
             FleetEvent(

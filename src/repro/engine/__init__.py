@@ -1,6 +1,15 @@
 """Discrete-event serving engine."""
 
-from repro.engine.replica import ReplicaEngine, SimulationResult
+from repro.engine.arrays import RequestArrays
+from repro.engine.replica import EngineStats, ReplicaEngine, SimulationResult
 from repro.engine.simulator import EventQueue
+from repro.engine.vectorized import VectorizedReplicaEngine
 
-__all__ = ["EventQueue", "ReplicaEngine", "SimulationResult"]
+__all__ = [
+    "EngineStats",
+    "EventQueue",
+    "ReplicaEngine",
+    "RequestArrays",
+    "SimulationResult",
+    "VectorizedReplicaEngine",
+]

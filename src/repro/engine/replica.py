@@ -11,6 +11,7 @@ iteration-level serving system (§2.5, §3.3).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -39,6 +40,22 @@ FollowupFn = Callable[[Request, float], list[Request]]
 TokenObserver = Callable[[Request, float, float], None]
 
 
+@dataclass(frozen=True)
+class EngineStats:
+    """How the engine itself performed (not the simulated system)."""
+
+    kind: str
+    num_events: int
+    num_batches: int
+    wall_time_s: float
+
+    @property
+    def events_per_batch(self) -> float:
+        if self.num_batches == 0:
+            return 0.0
+        return self.num_events / self.num_batches
+
+
 @dataclass
 class SimulationResult:
     """Everything a simulation run produced."""
@@ -54,6 +71,11 @@ class SimulationResult:
     # shared across runs (e.g. one capacity search) accumulates, so
     # per-run deltas require differencing consecutive snapshots.
     cache_stats: "CacheStats | None" = None
+    # Filled by ``run()``; None for results assembled elsewhere (fleet
+    # crash snapshots, merged fleet results).  Excluded from the
+    # differential golden comparison alongside cache_stats — it
+    # describes the engine, not the simulated system.
+    engine_stats: "EngineStats | None" = None
 
     @property
     def finished_requests(self) -> list[Request]:
@@ -72,6 +94,10 @@ class _Stage:
 
 class ReplicaEngine:
     """Discrete-event simulation of one serving replica."""
+
+    # The golden-reference core; the vectorized engine reports
+    # kind="vectorized" and must match this one bit-for-bit.
+    kind = "object"
 
     # Effective host<->device copy bandwidth for KV swap traffic
     # (PCIe-4.0 x16 class, overlap-corrected).
@@ -105,6 +131,8 @@ class ReplicaEngine:
         self._followup_fn: FollowupFn | None = None
         self._all_requests: list[Request] = []
         self.token_observer: TokenObserver | None = None
+        self._num_events = 0
+        self._wall_time_s = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -124,6 +152,7 @@ class ReplicaEngine:
         """
         if not requests:
             raise ValueError("run() needs at least one request")
+        wall_start = time.perf_counter()
         self._followup_fn = followup_fn
         self._all_requests = list(requests)
         for request in requests:
@@ -134,7 +163,9 @@ class ReplicaEngine:
             now, kind, payload = self._events.pop()
             if max_time is not None and now > max_time:
                 break
+            self._num_events += 1
             self._dispatch(kind, payload, now)
+        self._wall_time_s += time.perf_counter() - wall_start
 
         unfinished = [r for r in self._all_requests if not r.is_finished]
         if unfinished and max_time is None:
@@ -171,12 +202,28 @@ class ReplicaEngine:
     def step(self) -> float:
         """Pop and process exactly one internal event; returns its time."""
         now, kind, payload = self._events.pop()
+        self._num_events += 1
         self._dispatch(kind, payload, now)
         return now
 
     def pending_requests(self) -> list[Request]:
         """Delivered requests that have not finished (any phase)."""
         return [r for r in self._all_requests if not r.is_finished]
+
+    # Live workload gauges for the fleet router.  The object engine
+    # recomputes them by scanning; the vectorized engine keeps them as
+    # counters — both must return the same integers for a given state.
+    def num_pending(self) -> int:
+        """Number of delivered-but-unfinished requests."""
+        return sum(1 for r in self._all_requests if not r.is_finished)
+
+    def outstanding_tokens(self) -> int:
+        """Prefill+decode tokens still owed across pending requests."""
+        return sum(
+            r.remaining_prefill + r.remaining_output
+            for r in self._all_requests
+            if not r.is_finished
+        )
 
     @property
     def records(self) -> list[IterationRecord]:
@@ -185,6 +232,15 @@ class ReplicaEngine:
     @property
     def all_requests(self) -> list[Request]:
         return self._all_requests
+
+    def engine_stats(self) -> EngineStats:
+        """Counters so far — valid mid-run (the fleet polls these)."""
+        return EngineStats(
+            kind=self.kind,
+            num_events=self._num_events,
+            num_batches=self.scheduler.num_scheduled_batches,
+            wall_time_s=self._wall_time_s,
+        )
 
     def result(self, makespan: float) -> SimulationResult:
         """Snapshot of this engine's state as a ``SimulationResult``."""
@@ -196,6 +252,7 @@ class ReplicaEngine:
             num_preemptions=self.scheduler.num_preemptions,
             unfinished=[r for r in self._all_requests if not r.is_finished],
             cache_stats=getattr(self.exec_model, "cache_stats", None),
+            engine_stats=self.engine_stats(),
         )
 
     def _dispatch(self, kind: str, payload: object, now: float) -> None:

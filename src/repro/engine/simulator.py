@@ -43,12 +43,21 @@ class EventQueue:
         """The timestamp of the next event, or ``None`` when empty."""
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._check_finite(self._heap[0].time)
 
     def pop(self) -> tuple[float, str, Any]:
         entry = heapq.heappop(self._heap)
-        self.now = entry.time
+        self.now = self._check_finite(entry.time)
         return entry.time, entry.kind, entry.payload
+
+    def _check_finite(self, time: float) -> float:
+        # Guarded on pop/peek as well as push: an entry that slipped in
+        # around ``push`` (direct heap surgery, a buggy subclass) must
+        # fail loudly here — a NaN at the heap root compares false
+        # against everything and silently reorders every later pop.
+        if not math.isfinite(time):
+            raise ValueError(f"event queue contains non-finite time {time!r}")
+        return time
 
     def __len__(self) -> int:
         return len(self._heap)

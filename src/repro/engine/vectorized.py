@@ -1,0 +1,488 @@
+"""Array-backed replica engine: batched events, bit-identical results.
+
+``VectorizedReplicaEngine`` replays exactly the discrete-event
+semantics of :class:`repro.engine.replica.ReplicaEngine` for pp=1
+deployments, but holds per-request state in numpy struct-of-arrays
+(:mod:`repro.engine.arrays`) and commits a whole iteration's token
+progress with a handful of vector operations instead of per-request
+object traffic.
+
+The object engine stays the golden reference; this engine must match
+it float for float.  Three observations make that possible without a
+per-token event heap:
+
+* With one pipeline stage at most one batch is ever in flight, so the
+  event structure collapses to three sources — the sorted initial
+  arrival array (a cursor), a tiny heap of follow-up arrivals, and the
+  single pending batch-completion.  Replaying the object queue's
+  ``(time, insertion seq)`` tie-break over those three reproduces its
+  pop order exactly.
+* Iteration pricing decomposes into per-component memo tables (linear
+  by token counts, decode attention by context length, prefill
+  attention by chunk shape, token-count terms) that are reassembled in
+  the same order :meth:`ExecutionModel.stage_iteration_time` uses, so
+  every float operation matches.
+* Token emission timestamps need not be appended per request in the
+  hot loop: the engine logs ``(time, rows)`` per iteration and
+  rebuilds each ``token_times`` list with one stable sort at
+  synchronization points (end of run, fleet snapshot/crash).
+
+Divergence between the two engines is a release blocker; the
+differential suite under ``tests/differential`` enforces it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+
+import numpy as np
+
+from repro.engine.arrays import _CODE_TO_PHASE, PH_FINISHED, RequestArrays
+from repro.engine.replica import (
+    EngineStats,
+    FollowupFn,
+    ReplicaEngine,
+    SimulationResult,
+    TokenObserver,
+)
+from repro.metrics.timeline import IterationRecord
+from repro.parallel.comm import tp_comm_time
+from repro.perf.iteration import ExecutionModel
+from repro.scheduling.vectorized import VecBatch, VecScheduler
+from repro.types import IterationTime, Request, TokenWork
+
+__all__ = ["VectorizedReplicaEngine"]
+
+
+class VectorizedReplicaEngine:
+    """Discrete-event simulation of one replica over flat arrays.
+
+    Drop-in for :class:`ReplicaEngine` on single-stage deployments:
+    same ``run``/stepped interface, same ``SimulationResult``, same
+    floats.  Construction is normally via
+    :func:`repro.api.build_engine` with ``ServingConfig.engine`` set to
+    ``"vectorized"``.
+    """
+
+    kind = "vectorized"
+    DEFAULT_SWAP_BANDWIDTH = ReplicaEngine.DEFAULT_SWAP_BANDWIDTH
+
+    def __init__(
+        self,
+        exec_model: ExecutionModel,
+        scheduler: VecScheduler,
+        swap_bandwidth: float = DEFAULT_SWAP_BANDWIDTH,
+    ) -> None:
+        if swap_bandwidth <= 0:
+            raise ValueError("swap_bandwidth must be positive")
+        if exec_model.parallel.pipeline_parallel != 1:
+            raise ValueError(
+                "the vectorized engine supports single-stage (pp=1) "
+                "deployments only; use the object engine for pipelines"
+            )
+        self.exec_model = exec_model
+        self.scheduler = scheduler
+        self.arrays: RequestArrays = scheduler.A
+        self.swap_bandwidth = swap_bandwidth
+        self.num_stages = 1
+        self.token_observer: TokenObserver | None = None
+        self._followup_fn: FollowupFn | None = None
+
+        # Event state: at most one batch in flight plus follow-up
+        # arrivals; ``_seq`` continues the object queue's insertion
+        # counter so (time, seq) ordering replays its tie-breaks.
+        self._busy: tuple[float, int, VecBatch] | None = None
+        self._followup_heap: list[tuple[float, int, int]] = []
+        self._seq = 0
+        self._num_events = 0
+        self._wall_time_s = 0.0
+
+        # Emission log: (timestamp, rows emitted this iteration).
+        self._emit_log: list[tuple[float, np.ndarray]] = []
+        # Per-row timestamp lists maintained eagerly only when a
+        # followup_fn needs fully synced Request objects mid-run.
+        self._eager_times: dict[int, list[float]] | None = None
+
+        # Iteration records as parallel columns, materialized lazily.
+        self._rec_start: list[float] = []
+        self._rec_end: list[float] = []
+        self._rec_batch_id: list[int] = []
+        self._rec_np_tok: list[int] = []
+        self._rec_nd_tok: list[int] = []
+        self._rec_np_seq: list[int] = []
+        self._rec_nd_seq: list[int] = []
+        self._rec_breakdown: list[IterationTime] = []
+        self._rec_cache: list[IterationRecord] = []
+
+        # Component pricing memos, assembled in stage_iteration_time's
+        # exact operation order so totals are bit-identical.
+        self._linear_cache: dict[tuple[int, int], float] = {}
+        self._prefill_attn: dict[tuple[int, int], float] = {}
+        self._token_cache: dict[int, tuple[float, float]] = {}
+        self._decode_attn = np.full(1024, np.nan)
+        self._overhead = exec_model._fixed_overhead(True)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        requests: list[Request],
+        max_time: float | None = None,
+        followup_fn: "FollowupFn | None" = None,
+    ) -> SimulationResult:
+        """Simulate until all requests finish (or ``max_time`` elapses)."""
+        if not requests:
+            raise ValueError("run() needs at least one request")
+        wall_start = time.perf_counter()
+        self._followup_fn = followup_fn
+        if followup_fn is not None and self._eager_times is None:
+            self._eager_times = {}
+        A = self.arrays
+        core = self.scheduler
+        first = A.ingest_many(requests)
+        core.note_ingested_bulk(first)
+        n = A.n - first
+
+        # Initial arrivals sorted by time, stably — the object queue
+        # pushes them in input order with seqs 0..n-1, so input
+        # position doubles as the tie-break seq.
+        order = np.argsort(A.arrival_time[first : A.n], kind="stable")
+        arr_rows = (order + first).tolist()
+        arr_times = A.arrival_time[order + first].tolist()
+        arr_seqs = order.tolist()
+        self._seq = n
+
+        heap = self._followup_heap
+        cursor = 0
+        now = 0.0
+        while True:
+            # Next event = min over (arrival cursor, followup heap,
+            # in-flight batch) by (time, insertion seq).
+            source = 0
+            best_t = math.inf
+            best_s = -1
+            if cursor < n:
+                best_t = arr_times[cursor]
+                best_s = arr_seqs[cursor]
+                source = 1
+            if heap:
+                f_t, f_s, _ = heap[0]
+                if f_t < best_t or (f_t == best_t and f_s < best_s):
+                    best_t, best_s, source = f_t, f_s, 2
+            if self._busy is not None:
+                b_t, b_s, _ = self._busy
+                if b_t < best_t or (b_t == best_t and b_s < best_s):
+                    best_t, best_s, source = b_t, b_s, 3
+            if source == 0:
+                break
+            if max_time is not None and best_t > max_time:
+                now = best_t
+                break
+            now = best_t
+            self._num_events += 1
+            if source == 1:
+                row = arr_rows[cursor]
+                cursor += 1
+                core.add_row(row, now)
+                self._try_schedule(now)
+            elif source == 2:
+                _, _, row = heapq.heappop(heap)
+                core.add_row(row, now)
+                self._try_schedule(now)
+            else:
+                batch = self._busy[2]
+                self._busy = None
+                self._on_batch_done(batch, now)
+
+        self._wall_time_s += time.perf_counter() - wall_start
+        if max_time is None:
+            unfinished = np.nonzero(A.phase[: A.n] != PH_FINISHED)[0]
+            if len(unfinished):
+                first_stuck = A.requests[int(unfinished[0])]
+                raise RuntimeError(
+                    f"simulation drained its event queue with {len(unfinished)} "
+                    "unfinished requests — scheduler/memory deadlock "
+                    f"(first stuck: request {first_stuck.request_id})"
+                )
+        return self.result(makespan=now)
+
+    # ------------------------------------------------------------------
+    # Stepped interface (driven by the fleet simulator)
+    # ------------------------------------------------------------------
+    def deliver(self, request: Request, now: float) -> None:
+        """Inject an arriving request at time ``now`` (stepped mode)."""
+        row = self.arrays.ingest(request)
+        self.scheduler.note_ingested(row)
+        self.scheduler.add_row(row, now)
+        self._try_schedule(now)
+
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next internal event, or ``None`` if idle."""
+        candidate = self._next_internal()
+        return None if candidate is None else candidate[0]
+
+    def step(self) -> float:
+        """Pop and process exactly one internal event; returns its time."""
+        candidate = self._next_internal()
+        if candidate is None:
+            raise IndexError("step() on an idle engine")
+        now, _, source = candidate
+        self._num_events += 1
+        if source == 2:
+            _, _, row = heapq.heappop(self._followup_heap)
+            self.scheduler.add_row(row, now)
+            self._try_schedule(now)
+        else:
+            batch = self._busy[2]
+            self._busy = None
+            self._on_batch_done(batch, now)
+        return now
+
+    def _next_internal(self) -> tuple[float, int, int] | None:
+        best: tuple[float, int, int] | None = None
+        if self._followup_heap:
+            f_t, f_s, _ = self._followup_heap[0]
+            best = (f_t, f_s, 2)
+        if self._busy is not None:
+            b_t, b_s, _ = self._busy
+            if best is None or (b_t, b_s) < best[:2]:
+                best = (b_t, b_s, 3)
+        return best
+
+    def pending_requests(self) -> list[Request]:
+        """Delivered requests that have not finished (any phase)."""
+        self._sync_all()
+        A = self.arrays
+        rows = np.nonzero(A.phase[: A.n] != PH_FINISHED)[0].tolist()
+        return [A.requests[row] for row in rows]
+
+    def num_pending(self) -> int:
+        """Number of delivered-but-unfinished requests (O(1))."""
+        return self.scheduler.num_pending
+
+    def outstanding_tokens(self) -> int:
+        """Prefill+decode tokens still owed across pending requests (O(1))."""
+        return self.scheduler.outstanding_tokens
+
+    @property
+    def records(self) -> list[IterationRecord]:
+        cache = self._rec_cache
+        start = len(cache)
+        if start < len(self._rec_start):
+            cache.extend(
+                IterationRecord(
+                    stage=0,
+                    start=s,
+                    end=e,
+                    batch_id=b,
+                    num_prefill_tokens=pt,
+                    num_decode_tokens=dt,
+                    num_prefill_seqs=ps,
+                    num_decode_seqs=ds,
+                    breakdown=bd,
+                )
+                for s, e, b, pt, dt, ps, ds, bd in zip(
+                    self._rec_start[start:],
+                    self._rec_end[start:],
+                    self._rec_batch_id[start:],
+                    self._rec_np_tok[start:],
+                    self._rec_nd_tok[start:],
+                    self._rec_np_seq[start:],
+                    self._rec_nd_seq[start:],
+                    self._rec_breakdown[start:],
+                )
+            )
+        return cache
+
+    @property
+    def all_requests(self) -> list[Request]:
+        self._sync_all()
+        return self.arrays.requests
+
+    def engine_stats(self) -> EngineStats:
+        """Counters so far — valid mid-run (the fleet polls these)."""
+        return EngineStats(
+            kind=self.kind,
+            num_events=self._num_events,
+            num_batches=self.scheduler.num_scheduled_batches,
+            wall_time_s=self._wall_time_s,
+        )
+
+    def result(self, makespan: float) -> SimulationResult:
+        """Snapshot of this engine's state as a ``SimulationResult``."""
+        self._sync_all()
+        A = self.arrays
+        unfinished_rows = np.nonzero(A.phase[: A.n] != PH_FINISHED)[0].tolist()
+        return SimulationResult(
+            requests=list(A.requests),
+            records=self.records,
+            makespan=makespan,
+            num_stages=1,
+            num_preemptions=self.scheduler.num_preemptions,
+            unfinished=[A.requests[row] for row in unfinished_rows],
+            cache_stats=getattr(self.exec_model, "cache_stats", None),
+            engine_stats=self.engine_stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _try_schedule(self, now: float) -> None:
+        if self._busy is not None:
+            return
+        batch = self.scheduler.schedule(now)
+        if batch is None:
+            return
+        breakdown = self._price(batch)
+        if batch.swap_bytes:
+            swap_time = batch.swap_bytes / self.swap_bandwidth
+            breakdown = breakdown + IterationTime(0.0, 0.0, 0.0, swap_time, 0.0)
+        end = now + breakdown.total
+        self._rec_start.append(now)
+        self._rec_end.append(end)
+        self._rec_batch_id.append(batch.batch_id)
+        self._rec_np_tok.append(batch.num_prefill_tokens)
+        self._rec_nd_tok.append(batch.num_decode_tokens)
+        self._rec_np_seq.append(batch.num_prefill_seqs)
+        self._rec_nd_seq.append(batch.num_decode_seqs)
+        self._rec_breakdown.append(breakdown)
+        seq = self._seq
+        self._seq = seq + 1
+        self._busy = (end, seq, batch)
+
+    def _on_batch_done(self, batch: VecBatch, now: float) -> None:
+        A = self.arrays
+        core = self.scheduler
+        finished, prefill_emits = core.on_batch_complete(batch, now)
+        decode_rows = batch.decode_rows
+        if len(decode_rows):
+            self._emit_log.append((now, decode_rows))
+        if prefill_emits:
+            self._emit_log.append((now, np.array(prefill_emits, dtype=np.int64)))
+        if self._eager_times is not None:
+            eager = self._eager_times
+            for row in decode_rows.tolist():
+                eager.setdefault(row, []).append(now)
+            for row in prefill_emits:
+                eager.setdefault(row, []).append(now)
+        if self.token_observer is not None and len(decode_rows):
+            # Prefill-completion emissions are always a request's first
+            # token (no predecessor), so only decode rows with ≥ 2
+            # emitted tokens produce TBT samples — in batch order, like
+            # the object engine's walk over batch.items.
+            sampled = decode_rows[A.num_emitted[decode_rows] >= 2]
+            if len(sampled):
+                observer = self.token_observer
+                requests = A.requests
+                prevs = A.prev_emit[sampled].tolist()
+                for row, prev in zip(sampled.tolist(), prevs):
+                    observer(requests[row], now - prev, now)
+        if self._followup_fn is not None:
+            for row in finished:
+                self._sync_row(row)
+                for followup in self._followup_fn(A.requests[row], now):
+                    if followup.arrival_time < now - 1e-9:
+                        raise ValueError(
+                            "followup_fn returned a request arriving in "
+                            f"the past ({followup.arrival_time} < {now})"
+                        )
+                    new_row = A.ingest(followup)
+                    core.note_ingested(new_row)
+                    heapq.heappush(
+                        self._followup_heap,
+                        (followup.arrival_time, self._seq, new_row),
+                    )
+                    self._seq += 1
+        self._try_schedule(now)
+
+    # ------------------------------------------------------------------
+    # Pricing (memoized components, object-identical assembly)
+    # ------------------------------------------------------------------
+    def _price(self, batch: VecBatch) -> IterationTime:
+        num_tokens = batch.num_tokens
+        key = (num_tokens, batch.num_logit_tokens)
+        linear = self._linear_cache.get(key)
+        if linear is None:
+            linear = self.exec_model.linear.stage_time(num_tokens, key[1])
+            self._linear_cache[key] = linear
+        if len(batch.decode_rows):
+            values = self._decode_attention(batch.decode_ctx)
+        else:
+            values = []
+        prefill_attn = self._prefill_attn
+        for chunk, past in zip(batch.p_chunk, batch.p_past):
+            work_key = (chunk, past)
+            value = prefill_attn.get(work_key)
+            if value is None:
+                value = self.exec_model.attention.work_time(
+                    TokenWork(num_tokens=chunk, past_len=past, is_prefill=True)
+                )
+                prefill_attn[work_key] = value
+            values.append(value)
+        # Builtin sum over the batch-ordered list replays the object
+        # model's left-to-right float accumulation exactly.
+        attention = sum(values)
+        token_terms = self._token_cache.get(num_tokens)
+        if token_terms is None:
+            model = self.exec_model
+            token_terms = (
+                model._others_time(num_tokens),
+                tp_comm_time(
+                    model.model, model.parallel, num_tokens, model.stage_layers
+                ),
+            )
+            self._token_cache[num_tokens] = token_terms
+        return IterationTime(
+            linear, attention, token_terms[0], token_terms[1], self._overhead
+        )
+
+    def _decode_attention(self, ctx: np.ndarray) -> list[float]:
+        table = self._decode_attn
+        max_ctx = int(ctx.max())
+        if max_ctx >= table.size:
+            grown = np.full(max(table.size * 2, max_ctx + 1), np.nan)
+            grown[: table.size] = table
+            self._decode_attn = table = grown
+        values = table[ctx]
+        missing = np.isnan(values)
+        if missing.any():
+            work_time = self.exec_model.attention.work_time
+            for context_len in np.unique(ctx[missing]).tolist():
+                table[context_len] = work_time(TokenWork.decode(context_len))
+            values = table[ctx]
+        return values.tolist()
+
+    # ------------------------------------------------------------------
+    # Object synchronization
+    # ------------------------------------------------------------------
+    def _sync_all(self) -> None:
+        self.arrays.sync_out(self._emit_log)
+
+    def _sync_row(self, row: int) -> None:
+        """Write one row back to its Request (followup_fn handoff)."""
+        A = self.arrays
+        state = A.requests[row].__dict__
+        state["prefill_target"] = int(A.prefill_target[row])
+        state["prefill_done"] = int(A.prefill_done[row])
+        state["decode_steps"] = int(A.decode_steps[row])
+        state["num_emitted"] = int(A.num_emitted[row])
+        state["num_restarts"] = int(A.num_restarts[row])
+        state["phase"] = _CODE_TO_PHASE[int(A.phase[row])]
+        state["first_scheduled_at"] = _scalar(A.first_scheduled_at[row])
+        state["first_token_at"] = _scalar(A.first_token_at[row])
+        state["finished_at"] = _scalar(A.finished_at[row])
+        base = A.token_base.get(row)
+        new_times = (
+            list(self._eager_times.get(row, ()))
+            if self._eager_times is not None
+            else []
+        )
+        state["token_times"] = (base + new_times) if base else new_times
+
+
+def _scalar(value: float) -> float | None:
+    value = float(value)
+    return None if math.isnan(value) else value

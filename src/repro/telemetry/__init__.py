@@ -2,6 +2,7 @@
 
 from repro.telemetry.fleet import fleet_rows, replica_utilization_rows
 from repro.telemetry.recorder import (
+    engine_rows,
     iteration_rows,
     read_csv,
     read_jsonl,
@@ -18,6 +19,7 @@ from repro.telemetry.sweep import (
 )
 
 __all__ = [
+    "engine_rows",
     "iteration_rows",
     "request_rows",
     "run_counters",

@@ -17,6 +17,36 @@ from repro.parallel.config import ParallelConfig
 from repro.types import Request
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (full differential matrix, big benches)",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow: run with --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture(params=["object", "vectorized"])
+def engine(request) -> str:
+    """The engine kind under test.
+
+    Any suite that takes this fixture runs twice — once against the
+    object (golden-reference) core and once against the vectorized
+    core — and must pass bit-identically on both.  Pass the value as
+    ``ServingConfig(engine=engine)``.
+    """
+    return request.param
+
+
 @pytest.fixture
 def tiny_deployment() -> Deployment:
     """Tiny-1B on one A100 — the fast single-stage test deployment."""
@@ -41,6 +71,31 @@ def paged_memory() -> PagedBlockManager:
 @pytest.fixture
 def reservation_memory() -> ReservationManager:
     return ReservationManager(capacity_tokens=8192, reserve_len=1024)
+
+
+def shrink_kv_memory(
+    built, capacity_tokens: int = 4096, block_size: int = 16
+) -> None:
+    """Swap a drastically smaller KV pool into a freshly built engine.
+
+    The dual pattern the determinism and differential suites use to
+    force preemption pressure: the object scheduler gets a small
+    ``PagedBlockManager``, the vectorized one the row-indexed
+    ``VecPagedMemory`` of identical shape.  Call before ``run``.
+    """
+    if built.kind == "vectorized":
+        from repro.scheduling.vectorized import VecPagedMemory
+
+        built.scheduler.memory = VecPagedMemory(
+            built.scheduler.A,
+            capacity_tokens=capacity_tokens,
+            block_size=block_size,
+            watermark=0.0,
+        )
+    else:
+        built.scheduler.memory = PagedBlockManager(
+            capacity_tokens=capacity_tokens, block_size=block_size, watermark=0.0
+        )
 
 
 def make_request(

@@ -1,0 +1,7 @@
+"""Differential golden-reference suite: object engine vs vectorized.
+
+The object engine (``repro.engine.replica.ReplicaEngine``) is the
+ground truth; the vectorized core must reproduce it bit-for-bit on
+every supported configuration.  Any divergence found here is a release
+blocker, never something to paper over with tolerances.
+"""

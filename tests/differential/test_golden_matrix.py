@@ -1,0 +1,178 @@
+"""The golden matrix: vectorized engine vs the object ground truth.
+
+Every cell runs one fixed workload through both engines and asserts
+bit-identical results (full iteration records, full request
+timelines).  A small slice of the matrix gates every PR; the full
+schedulers × workloads × fault/no-fault × seeds matrix runs under
+``--runslow`` (nightly in CI).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import ServingConfig, build_engine, clone_requests
+from repro.cluster.fleet import FaultSchedule, FleetConfig, simulate_fleet
+from repro.types import SchedulerKind
+
+from tests.conftest import make_request
+from tests.differential.conftest import (
+    WORKLOADS,
+    assert_results_identical,
+    request_timelines,
+    run_engine_pair,
+)
+
+pytestmark = pytest.mark.tier1
+
+# The vectorized core supports every scheduler except SARATHI_DYNAMIC
+# (per-candidate iteration pricing stays object-only).
+PR_SCHEDULERS = [
+    SchedulerKind.SARATHI,
+    SchedulerKind.VLLM,
+    SchedulerKind.FASTER_TRANSFORMER,
+]
+ALL_SCHEDULERS = PR_SCHEDULERS + [
+    SchedulerKind.ORCA,
+    SchedulerKind.CHUNKED_ONLY,
+    SchedulerKind.HYBRID_ONLY,
+]
+SEEDS = [0, 1, 2]
+
+
+def _config(kind: SchedulerKind, **extra) -> ServingConfig:
+    return ServingConfig(scheduler=kind, token_budget=256, **extra)
+
+
+# ----------------------------------------------------------------------
+# Single replica
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("kind", PR_SCHEDULERS)
+def test_single_replica_small(tiny_deployment, kind, workload):
+    """The every-PR slice: 3 schedulers × 3 workloads at small N."""
+    trace = WORKLOADS[workload](14, 0)
+    obj, vec = run_engine_pair(tiny_deployment, _config(kind), trace)
+    assert_results_identical(obj, vec)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("kind", ALL_SCHEDULERS)
+def test_single_replica_full_matrix(tiny_deployment, kind, workload, seed):
+    trace = WORKLOADS[workload](20, seed)
+    obj, vec = run_engine_pair(tiny_deployment, _config(kind), trace)
+    assert_results_identical(obj, vec)
+
+
+@pytest.mark.parametrize("mode", ["recompute", "swap"])
+@pytest.mark.parametrize("kind", [SchedulerKind.VLLM, SchedulerKind.SARATHI])
+def test_preemption_and_swap_pressure(tiny_deployment, kind, mode):
+    """Eviction, restart and swap paths must also match bit-for-bit."""
+    trace = [
+        make_request(prompt_len=256, output_len=300, arrival_time=0.005 * i)
+        for i in range(10)
+    ]
+    config = _config(kind, preemption_mode=mode)
+    obj, vec = run_engine_pair(
+        tiny_deployment, config, trace, shrink_memory=True
+    )
+    # The cell must actually exercise the pressure path, not pass
+    # vacuously on an unpressured run.
+    assert obj.num_preemptions > 0
+    assert_results_identical(obj, vec)
+
+
+def test_max_time_cutoff_matches(tiny_deployment):
+    """A capped run stops both engines at the same event horizon."""
+    trace = WORKLOADS["decode_heavy"](30, 1)
+    obj, vec = run_engine_pair(
+        tiny_deployment, _config(SchedulerKind.SARATHI), trace, max_time=2.0
+    )
+    assert obj.unfinished  # the cap bit, or the test proves nothing
+    assert_results_identical(obj, vec)
+
+
+def test_engine_stats_agree_on_work_done(tiny_deployment):
+    """Event and batch counts describe the same simulation."""
+    trace = WORKLOADS["sharegpt"](14, 0)
+    obj, vec = run_engine_pair(tiny_deployment, _config(SchedulerKind.SARATHI), trace)
+    assert obj.engine_stats is not None and vec.engine_stats is not None
+    assert obj.engine_stats.kind == "object"
+    assert vec.engine_stats.kind == "vectorized"
+    assert obj.engine_stats.num_events == vec.engine_stats.num_events
+    assert obj.engine_stats.num_batches == vec.engine_stats.num_batches
+
+
+def test_dynamic_scheduler_rejected_by_vectorized(tiny_deployment):
+    config = ServingConfig(
+        scheduler=SchedulerKind.SARATHI_DYNAMIC, engine="vectorized"
+    )
+    with pytest.raises(ValueError, match="dynamic budget"):
+        build_engine(tiny_deployment, config)
+
+
+# ----------------------------------------------------------------------
+# Fleet: fault / no-fault
+# ----------------------------------------------------------------------
+def _fleet_events(result) -> list[dict]:
+    return [dataclasses.asdict(event) for event in result.events]
+
+
+def _run_fleet_pair(deployment, kind, trace, faulted: bool):
+    fleet_config = FleetConfig(
+        num_replicas=3,
+        faults=(
+            FaultSchedule.single(1, down_at=2.0, up_at=4.0)
+            if faulted
+            else FaultSchedule()
+        ),
+    )
+    out = {}
+    for engine in ("object", "vectorized"):
+        config = _config(kind, engine=engine)
+        out[engine] = simulate_fleet(
+            deployment, config, clone_requests(trace), fleet_config
+        )
+    return out["object"], out["vectorized"]
+
+
+@pytest.mark.parametrize("faulted", [False, True], ids=["no_fault", "fault"])
+@pytest.mark.parametrize("kind", PR_SCHEDULERS)
+def test_fleet_small(tiny_deployment, kind, faulted):
+    """Every-PR fleet slice: routing, failover and restarts match."""
+    trace = WORKLOADS["sharegpt"](16, 0)
+    (obj_result, obj_metrics), (vec_result, vec_metrics) = _run_fleet_pair(
+        tiny_deployment, kind, trace, faulted
+    )
+    assert request_timelines(obj_result.merged()) == request_timelines(
+        vec_result.merged()
+    )
+    assert _fleet_events(obj_result) == _fleet_events(vec_result)
+    assert obj_result.assignments == vec_result.assignments
+    assert [r.request_id for r in obj_result.shed] == [
+        r.request_id for r in vec_result.shed
+    ]
+    assert obj_metrics == vec_metrics
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("faulted", [False, True], ids=["no_fault", "fault"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("kind", PR_SCHEDULERS)
+def test_fleet_full_matrix(tiny_deployment, kind, workload, faulted, seed):
+    """The acceptance matrix: ≥3 schedulers × 3 workloads ×
+    fault/no-fault × 3 seeds, all bit-identical."""
+    trace = WORKLOADS[workload](16, seed)
+    (obj_result, obj_metrics), (vec_result, vec_metrics) = _run_fleet_pair(
+        tiny_deployment, kind, trace, faulted
+    )
+    assert request_timelines(obj_result.merged()) == request_timelines(
+        vec_result.merged()
+    )
+    assert _fleet_events(obj_result) == _fleet_events(vec_result)
+    assert obj_metrics == vec_metrics

@@ -27,6 +27,8 @@ from repro.runtime import (
 from repro.types import SchedulerKind
 from repro.workload.datasets import SHAREGPT4
 
+pytestmark = pytest.mark.chaos
+
 TINY = Scale(num_requests=12, capacity_rel_tol=0.5, capacity_max_probes=3)
 
 

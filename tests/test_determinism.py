@@ -19,7 +19,9 @@ from repro.api import ServingConfig, build_engine, clone_requests
 from repro.types import SchedulerKind
 from repro.workload.datasets import ARXIV_SUMMARIZATION, SHAREGPT4, generate_requests
 
-from tests.conftest import make_request
+from tests.conftest import make_request, shrink_kv_memory
+
+pytestmark = pytest.mark.tier1
 
 
 def _record_fields(record):
@@ -71,13 +73,17 @@ def _request_timelines(result):
     ],
 )
 @pytest.mark.parametrize("perf_cache", [True, False], ids=["cached", "uncached"])
-def test_golden_trace_single_stage(tiny_deployment, kind, perf_cache):
+def test_golden_trace_single_stage(tiny_deployment, kind, perf_cache, engine):
+    if kind is SchedulerKind.SARATHI_DYNAMIC and engine == "vectorized":
+        pytest.skip("dynamic budget control is object-engine only")
     trace = generate_requests(SHAREGPT4, num_requests=20, qps=1.5, seed=11)
-    config = ServingConfig(scheduler=kind, token_budget=256, perf_cache=perf_cache)
+    config = ServingConfig(
+        scheduler=kind, token_budget=256, perf_cache=perf_cache, engine=engine
+    )
 
     def run():
-        engine = build_engine(tiny_deployment, config)
-        return engine.run(clone_requests(trace))
+        built = build_engine(tiny_deployment, config)
+        return built.run(clone_requests(trace))
 
     first, second = run(), run()
     assert _golden_trace(first) == _golden_trace(second)
@@ -98,7 +104,7 @@ def test_golden_trace_pipeline(tiny_pp_deployment):
     assert _request_timelines(first) == _request_timelines(second)
 
 
-def test_golden_trace_under_preemption_pressure(tiny_deployment):
+def test_golden_trace_under_preemption_pressure(tiny_deployment, engine):
     """Replays stay identical even when preemptions/restarts kick in."""
     # Short prompts but long generations: admission lets many requests
     # in, then decode growth overflows the shrunken KV pool.
@@ -106,15 +112,14 @@ def test_golden_trace_under_preemption_pressure(tiny_deployment):
         make_request(prompt_len=256, output_len=300, arrival_time=0.005 * i)
         for i in range(10)
     ]
-    config = ServingConfig(scheduler=SchedulerKind.VLLM, preemption_mode="recompute")
+    config = ServingConfig(
+        scheduler=SchedulerKind.VLLM, preemption_mode="recompute", engine=engine
+    )
 
     def run():
-        engine = build_engine(tiny_deployment, config)
-        # Shrink KV memory drastically so eviction actually happens.
-        engine.scheduler.memory = type(engine.scheduler.memory)(
-            capacity_tokens=4096, block_size=16, watermark=0.0
-        )
-        return engine.run(clone_requests(trace))
+        built = build_engine(tiny_deployment, config)
+        shrink_kv_memory(built)
+        return built.run(clone_requests(trace))
 
     first, second = run(), run()
     assert any(r.num_restarts > 0 for r in first.requests)

@@ -10,6 +10,8 @@ from repro.types import Request, SchedulerKind
 
 from tests.conftest import make_request
 
+pytestmark = pytest.mark.tier1
+
 
 class TestEventQueue:
     def test_orders_by_time(self):
@@ -57,15 +59,38 @@ class TestEventQueue:
         assert len(q) == 1
         assert q.pop()[1] == "ok"
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_time_caught_on_pop_and_peek(self, bad):
+        # Regression: the guard must also fire on the way *out*.  An
+        # entry that slipped in around push() (direct heap surgery, a
+        # buggy subclass) sits at the root comparing false against
+        # everything; pop/peek must fail loudly instead of silently
+        # reordering every later pop.
+        import heapq
+
+        from repro.engine.simulator import _Entry
+
+        for probe in ("peek_time", "pop"):
+            q = EventQueue()
+            heapq.heappush(q._heap, _Entry(bad, 0, "bad", None))
+            with pytest.raises(ValueError, match="non-finite"):
+                getattr(q, probe)()
+
 
 class TestReplicaEngineSingleStage:
+    """Runs twice via the ``engine`` fixture: object and vectorized."""
+
+    @pytest.fixture(autouse=True)
+    def _select_engine(self, engine):
+        self.engine = engine
+
     def _run(self, deployment, requests, scheduler=SchedulerKind.SARATHI, **cfg):
-        config = ServingConfig(scheduler=scheduler, **cfg)
+        config = ServingConfig(scheduler=scheduler, engine=self.engine, **cfg)
         engine = build_engine(deployment, config)
         return engine.run(requests)
 
     def test_empty_trace_rejected(self, tiny_deployment):
-        engine = build_engine(tiny_deployment, ServingConfig())
+        engine = build_engine(tiny_deployment, ServingConfig(engine=self.engine))
         with pytest.raises(ValueError):
             engine.run([])
 
@@ -113,7 +138,7 @@ class TestReplicaEngineSingleStage:
 
     def test_max_time_cutoff_leaves_unfinished(self, tiny_deployment):
         requests = [make_request(prompt_len=2000, output_len=200) for _ in range(4)]
-        config = ServingConfig(scheduler=SchedulerKind.SARATHI)
+        config = ServingConfig(scheduler=SchedulerKind.SARATHI, engine=self.engine)
         engine = build_engine(tiny_deployment, config)
         result = engine.run(requests, max_time=0.05)
         assert result.unfinished
@@ -134,8 +159,9 @@ class TestReplicaEngineSingleStage:
             make_request(prompt_len=100, output_len=5, arrival_time=0.02 * i)
             for i in range(10)
         ]
-        _, m1 = simulate(tiny_deployment, ServingConfig(), trace)
-        _, m2 = simulate(tiny_deployment, ServingConfig(), trace)
+        config = ServingConfig(engine=self.engine)
+        _, m1 = simulate(tiny_deployment, config, trace)
+        _, m2 = simulate(tiny_deployment, config, trace)
         assert m1 == m2
 
     def test_arrival_order_respected(self, tiny_deployment):
@@ -155,6 +181,12 @@ class TestReplicaEngineSingleStage:
 
 
 class TestReplicaEnginePipeline:
+    def test_vectorized_rejects_pipeline_parallel(self, tiny_pp_deployment):
+        # The vectorized core models a single stage; pp deployments
+        # must fail loudly at build time, not drift silently.
+        with pytest.raises(ValueError, match="single-stage"):
+            build_engine(tiny_pp_deployment, ServingConfig(engine="vectorized"))
+
     def test_pipeline_runs_all_requests(self, tiny_pp_deployment):
         requests = [
             make_request(prompt_len=128, output_len=6, arrival_time=0.01 * i)

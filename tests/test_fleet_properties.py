@@ -8,7 +8,8 @@ double-finished, and never finished with the wrong number of tokens.
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.api import Deployment, ServingConfig
 from repro.cluster.fleet import (
@@ -24,8 +25,9 @@ from repro.models.catalog import TINY_1B
 
 from tests.conftest import make_request
 
+pytestmark = pytest.mark.tier1
+
 _DEPLOYMENT = Deployment(model=TINY_1B, gpu=A100_80G)
-_CONFIG = ServingConfig()
 
 
 def _quantize(value: float) -> float:
@@ -79,9 +81,15 @@ def fleet_scenarios(draw):
     )
 
 
-@settings(max_examples=25, deadline=None)
+@settings(
+    max_examples=25,
+    deadline=None,
+    # The `engine` fixture is an immutable engine-kind string, constant
+    # for every example of one test run — safe to reuse across examples.
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(scenario=fleet_scenarios())
-def test_no_request_lost_or_double_finished(scenario):
+def test_no_request_lost_or_double_finished(engine, scenario):
     fleet_config, round_robin, num_requests, gap = scenario
     trace = [
         make_request(prompt_len=600, output_len=5, arrival_time=gap * i)
@@ -92,7 +100,8 @@ def test_no_request_lost_or_double_finished(scenario):
         if round_robin
         else LeastOutstandingTokensRouter(fleet_config.num_replicas)
     )
-    simulator = FleetSimulator(_DEPLOYMENT, _CONFIG, fleet_config, router=router)
+    config = ServingConfig(engine=engine)
+    simulator = FleetSimulator(_DEPLOYMENT, config, fleet_config, router=router)
     result = simulator.run(trace)
 
     # Conservation: finished XOR shed, nothing lost.
