@@ -32,6 +32,12 @@ Cases:
   horizon, where the outputs must be bit-identical.
 * **vectorized_fleet_1e6** — the same comparison through the online
   fleet simulator: 10⁶ requests routed across 100 replicas.
+* **prefix_cache_conversation** — KV prefix caching on a multi-round
+  conversation workload.  The timed columns are a 100%-miss workload
+  (unique prefix ids) with the cache off vs on — those two runs must
+  stay bit-identical, pinning the cache's no-sharing contract — and
+  the detail records the headline number: conversation capacity at a
+  fixed P99-TBT SLO with the cache off vs on, per chunk size.
 
 Usage::
 
@@ -70,6 +76,12 @@ from repro.experiments.capacity_runner import (  # noqa: E402
 )
 from repro.experiments.common import Scale, mistral_deployment  # noqa: E402
 from repro.experiments.fig09_hybrid_latency import run_hybrid_latency  # noqa: E402
+from repro.experiments.prefix_cache import (  # noqa: E402
+    CHUNK_SIZES,
+    capacity_gain,
+    conversation_spec_for,
+    run_prefix_cache_capacity,
+)
 from repro.hardware.catalog import A100_80G  # noqa: E402
 from repro.metrics.slo import derived_slo  # noqa: E402
 from repro.models.catalog import TINY_1B  # noqa: E402
@@ -81,6 +93,7 @@ from repro.reporting import (  # noqa: E402
 )
 from repro.runtime import clear_process_models  # noqa: E402
 from repro.types import Request, SchedulerKind  # noqa: E402
+from repro.workload.conversation import simulate_conversations  # noqa: E402
 from repro.workload.datasets import ARXIV_SUMMARIZATION, SHAREGPT4  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulator.json"
@@ -498,6 +511,103 @@ def _timed_vectorized_fleet(deployment: Deployment, quick: bool, seed: int) -> B
     )
 
 
+# ----------------------------------------------------------------------
+# KV prefix caching on conversation workloads
+# ----------------------------------------------------------------------
+# Small token budgets ration prefill hardest, so they see the largest
+# relative capacity gain from reuse; the full harness records both a
+# strict (512) and a relaxed (2048) chunk size.
+PREFIX_SCALE = Scale(num_requests=36, capacity_rel_tol=0.3, capacity_max_probes=5)
+PREFIX_QUICK_SCALE = Scale(num_requests=12, capacity_rel_tol=0.5, capacity_max_probes=3)
+
+
+def _conversation_fingerprint(result) -> list[tuple]:
+    # Closed-loop workloads regenerate their requests per run, so the
+    # global request-id counter differs between runs; requests compare
+    # in creation order on every other externally visible field.
+    return [
+        (
+            r.arrival_time,
+            r.prompt_len,
+            r.output_len,
+            r.prefix_id,
+            r.first_scheduled_at,
+            r.first_token_at,
+            r.finished_at,
+            tuple(r.token_times),
+            r.num_restarts,
+        )
+        for r in result.requests
+    ]
+
+
+def _timed_prefix_cache_conversation(
+    deployment: Deployment, quick: bool, seed: int
+) -> BenchCase:
+    """Prefix-cache conversation case: miss-path identity + SLO capacity.
+
+    Unlike the memoization cases, cache-on here does *different work*
+    (follow-up rounds skip re-prefilling shared history), so the two
+    timed columns are the configuration where the contract demands
+    bit-identity: a 100%-miss workload (unique prefix ids per round)
+    with the cache off vs on.  The headline capacity gain at the fixed
+    P99-TBT SLO goes in the detail and the hit counters come from a
+    cache-on run of the real (sharing) conversation workload.
+    """
+    scale = replace(PREFIX_QUICK_SCALE if quick else PREFIX_SCALE, seed=seed)
+    chunk_sizes = (512,) if quick else CHUNK_SIZES
+
+    def run(prefix_mode: str, cache_on: bool):
+        spec = replace(
+            conversation_spec_for(scale, prefix_mode=prefix_mode),
+            arrival_qps=0.5,
+        )
+        config = ServingConfig(
+            scheduler=SchedulerKind.SARATHI,
+            token_budget=chunk_sizes[0],
+            prefix_cache=cache_on,
+        )
+        start = time.perf_counter()
+        result, _ = simulate_conversations(deployment, config, spec, seed=scale.seed)
+        return time.perf_counter() - start, result
+
+    miss_off_s, miss_off = run("unique", cache_on=False)
+    miss_on_s, miss_on = run("unique", cache_on=True)
+    identical = (
+        _conversation_fingerprint(miss_off) == _conversation_fingerprint(miss_on)
+        and miss_on.prefix_stats is not None
+        and miss_on.prefix_stats.hits == 0
+    )
+
+    # Hit counters from the sharing workload (same load, prefix ids on).
+    _, sharing = run("conversation", cache_on=True)
+    stats = sharing.prefix_stats
+
+    points = run_prefix_cache_capacity(
+        scale, deployment, chunk_sizes=chunk_sizes, qps_hint=0.3
+    )
+    gains = capacity_gain(points)
+    caps = {(p.chunk_size, p.variant): p.capacity_qps for p in points}
+    gain_text = ", ".join(
+        f"chunk {chunk}: {caps[(chunk, 'cache-off')]:.2f}->"
+        f"{caps[(chunk, 'cache-on')]:.2f} qps ({gains[chunk]:.2f}x)"
+        for chunk in chunk_sizes
+    )
+    return BenchCase(
+        name="prefix_cache_conversation",
+        uncached_seconds=miss_off_s,
+        cached_seconds=miss_on_s,
+        identical=identical,
+        cache_hits=stats.hits if stats is not None else 0,
+        cache_misses=stats.misses if stats is not None else 0,
+        detail=(
+            f"{deployment.label}, sarathi, conversation workload seed={scale.seed}; "
+            f"capacity at 25x-TBT SLO: {gain_text}; timed columns = 100%-miss "
+            f"workload cache off vs on (must be bit-identical)"
+        ),
+    )
+
+
 def bench_simulator_cache_speed(benchmark, report):
     """pytest entry: quick variant of the harness, same assertions."""
     deployment = Deployment(model=TINY_1B, gpu=A100_80G)
@@ -512,7 +622,8 @@ def bench_simulator_cache_speed(benchmark, report):
                 deployment, GRID_QUICK_SCALE, seed=0,
                 cache_dir=Path(cache_dir), quick=True,
             )
-        return [sweep, hybrid, *grid]
+        prefix = _timed_prefix_cache_conversation(deployment, quick=True, seed=0)
+        return [sweep, hybrid, *grid, prefix]
 
     cases = benchmark.pedantic(run, rounds=1, iterations=1)
     report(
@@ -576,7 +687,12 @@ def main(argv: list[str] | None = None) -> int:
     vec_replica_case = _timed_vectorized_replica(vec_deployment, args.quick, args.seed)
     print("timing vectorized engine (100-replica fleet)…", flush=True)
     vec_fleet_case = _timed_vectorized_fleet(vec_deployment, args.quick, args.seed)
-    cases = [sweep_case, hybrid_case, *grid_cases, vec_replica_case, vec_fleet_case]
+    print("timing prefix-cache conversation capacity…", flush=True)
+    prefix_case = _timed_prefix_cache_conversation(deployment, args.quick, args.seed)
+    cases = [
+        sweep_case, hybrid_case, *grid_cases,
+        vec_replica_case, vec_fleet_case, prefix_case,
+    ]
 
     print()
     print(render_bench_table(cases))

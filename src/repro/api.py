@@ -30,6 +30,7 @@ from repro.memory.capacity import (
     RESERVATION_ACTIVATION_RESERVE_BYTES,
     kv_token_capacity,
 )
+from repro.memory.prefix import SharedPrefixStore
 from repro.metrics.summary import RunMetrics, summarize
 from repro.models.config import ModelConfig
 from repro.parallel.config import ParallelConfig
@@ -118,6 +119,19 @@ class ServingConfig:
     engine: str = field(
         default_factory=lambda: os.environ.get("REPRO_ENGINE", "object")
     )
+    # KV prefix caching (paged schedulers only): requests tagged with a
+    # prefix_id reuse ref-counted shared blocks published by earlier
+    # requests in the same lineage, prefilling only their novel suffix
+    # while still paying full-context attention and occupancy.  Off by
+    # default — untagged traces behave identically either way, but the
+    # default keeps golden traces byte-stable.  Ignored by the
+    # reservation schedulers (Orca/FT), whose worst-case contiguous
+    # slots cannot share blocks.  Flip process-wide with
+    # REPRO_PREFIX_CACHE=1; the CLI exposes it as --prefix-cache.
+    prefix_cache: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_PREFIX_CACHE", "0").lower()
+        in ("1", "true", "on", "yes")
+    )
 
     def __post_init__(self) -> None:
         # Validate at construction time so a bad knob fails where it was
@@ -169,7 +183,14 @@ def build_memory(deployment: Deployment, config: ServingConfig) -> MemoryManager
         capacity = deployment.kv_capacity_tokens(reservation_style=True)
         return ReservationManager(capacity, reserve_len=config.reserve_len)
     capacity = deployment.kv_capacity_tokens(reservation_style=False)
-    return PagedBlockManager(capacity, block_size=config.block_size)
+    store = (
+        SharedPrefixStore(block_size=config.block_size)
+        if config.prefix_cache
+        else None
+    )
+    return PagedBlockManager(
+        capacity, block_size=config.block_size, prefix_store=store
+    )
 
 
 def execution_model_for(
@@ -268,7 +289,14 @@ def build_vectorized_scheduler(
             )
         return VecOrcaScheduler(arrays, memory, config.max_batch_size)
     capacity = deployment.kv_capacity_tokens(reservation_style=False)
-    paged = VecPagedMemory(arrays, capacity, block_size=config.block_size)
+    store = (
+        SharedPrefixStore(block_size=config.block_size)
+        if config.prefix_cache
+        else None
+    )
+    paged = VecPagedMemory(
+        arrays, capacity, block_size=config.block_size, prefix_store=store
+    )
     kv_bytes = deployment.model.kv_bytes_per_token
     if kind is SchedulerKind.VLLM:
         return VecVLLMScheduler(

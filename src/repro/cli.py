@@ -74,6 +74,24 @@ def _add_perf_cache_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_prefix_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prefix-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="share KV blocks of common prefixes across requests "
+        "(paged memory only; default off, or REPRO_PREFIX_CACHE)",
+    )
+
+
+def _prefix_cache_kwargs(args: argparse.Namespace) -> dict:
+    """Only override ServingConfig.prefix_cache when the flag was given,
+    so the REPRO_PREFIX_CACHE environment default keeps working."""
+    if getattr(args, "prefix_cache", None) is None:
+        return {}
+    return {"prefix_cache": args.prefix_cache}
+
+
 def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -165,17 +183,33 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     deployment = _deployment_from(args)
-    dataset = get_dataset(args.dataset)
-    trace = generate_requests(
-        dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
-    )
     config = ServingConfig(
         scheduler=SchedulerKind(args.scheduler),
         token_budget=args.token_budget,
         perf_cache=_perf_cache_from(args),
         **_engine_kwargs(args),
+        **_prefix_cache_kwargs(args),
     )
-    result, metrics = simulate(deployment, config, trace)
+    if args.workload == "conversation":
+        from repro.workload.conversation import ConversationSpec, simulate_conversations
+
+        spec = ConversationSpec(
+            num_conversations=args.requests, arrival_qps=args.qps
+        )
+        result, metrics = simulate_conversations(
+            deployment, config, spec, seed=args.seed
+        )
+        workload_line = (
+            f"conversations, {args.requests} conversations @ {args.qps} qps "
+            f"({len(result.requests)} rounds)"
+        )
+    else:
+        dataset = get_dataset(args.dataset)
+        trace = generate_requests(
+            dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
+        )
+        result, metrics = simulate(deployment, config, trace)
+        workload_line = f"{dataset.name}, {args.requests} requests @ {args.qps} qps"
     print(f"deployment: {deployment.label}")
     print(f"scheduler:  {args.scheduler} (budget {args.token_budget})")
     if result.engine_stats is not None:
@@ -184,12 +218,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"engine:     {stats.kind} ({stats.num_events} events, "
             f"{stats.num_batches} batches, {stats.wall_time_s:.2f}s wall)"
         )
-    print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
+    print(f"workload:   {workload_line}")
     if result.cache_stats is not None:
         stats = result.cache_stats
         print(
             f"perf cache: {stats.hits}/{stats.hits + stats.misses} batch hits "
             f"({stats.hit_rate:.0%}), {stats.work_hit_rate:.0%} attention-work hits"
+        )
+    if result.prefix_stats is not None:
+        stats = result.prefix_stats
+        print(
+            f"prefix cache: {stats.hits}/{stats.lookups} lookups hit "
+            f"({stats.hit_rate:.0%}), {stats.hit_tokens} prefill tokens reused, "
+            f"{stats.cow_copies} COW copies, {stats.evictions} evictions"
         )
     print()
     print(f"median TTFT          {metrics.median_ttft:8.3f} s")
@@ -393,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run one trace and print latency metrics")
     _add_deployment_args(sim)
     sim.add_argument("--dataset", default="openchat_sharegpt4")
+    sim.add_argument("--workload", default="trace",
+                     choices=["trace", "conversation"],
+                     help="open-loop dataset trace, or closed-loop multi-round "
+                     "conversations (--requests counts conversations)")
     sim.add_argument("--scheduler", default="sarathi",
                      choices=[k.value for k in SchedulerKind])
     sim.add_argument("--qps", type=float, default=1.0)
@@ -401,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     _add_engine_arg(sim)
     _add_perf_cache_arg(sim)
+    _add_prefix_cache_arg(sim)
     sim.set_defaults(func=_cmd_simulate)
 
     fleet = sub.add_parser(

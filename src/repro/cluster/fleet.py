@@ -45,6 +45,7 @@ from repro.engine.simulator import EventQueue
 from repro.engine.replica import EngineStats, ReplicaEngine, SimulationResult
 from repro.metrics.stats import percentile
 from repro.metrics.summary import RunMetrics, summarize
+from repro.memory.prefix import PrefixCacheStats
 from repro.metrics.timeline import IterationRecord
 from repro.types import Request, RequestPhase
 
@@ -258,6 +259,23 @@ class FleetEvent:
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
+def _add_prefix_stats(
+    total: PrefixCacheStats | None, stats: PrefixCacheStats | None
+) -> PrefixCacheStats | None:
+    """Accumulate prefix-cache counters without mutating ``stats``."""
+    if stats is None:
+        return total
+    if total is None:
+        total = PrefixCacheStats()
+    total.hits += stats.hits
+    total.misses += stats.misses
+    total.hit_tokens += stats.hit_tokens
+    total.cow_copies += stats.cow_copies
+    total.registrations += stats.registrations
+    total.evictions += stats.evictions
+    return total
+
+
 @dataclass
 class FleetResult:
     """Everything one fleet run produced."""
@@ -311,6 +329,7 @@ class FleetResult:
         num_stages = 0
         preemptions = 0
         engine_stats = None
+        prefix_stats = None
         for result in self.replica_results:
             records.extend(result.records)
             num_stages = max(num_stages, result.num_stages)
@@ -327,6 +346,9 @@ class FleetResult:
                         wall_time_s=engine_stats.wall_time_s + stats.wall_time_s,
                     )
                 )
+            # Per-replica prefix stores are independent; the fleet view
+            # sums their counters (incarnations after a crash included).
+            prefix_stats = _add_prefix_stats(prefix_stats, result.prefix_stats)
         return SimulationResult(
             requests=list(self.requests),
             records=records,
@@ -336,6 +358,7 @@ class FleetResult:
             unfinished=[r for r in self.requests if not r.is_finished],
             cache_stats=self.cache_stats,
             engine_stats=engine_stats,
+            prefix_stats=prefix_stats,
         )
 
 
@@ -370,6 +393,7 @@ class _ReplicaSlot:
         self._past_events = 0
         self._past_batches = 0
         self._past_wall_s = 0.0
+        self._past_prefix: PrefixCacheStats | None = None
         self.recent_tbts: list[float] = []
         # Memoized p99 over recent_tbts: routers snapshot every replica
         # on every routing decision, but the window only changes when a
@@ -459,6 +483,10 @@ class _ReplicaSlot:
         self._past_events += stats.num_events
         self._past_batches += stats.num_batches
         self._past_wall_s += stats.wall_time_s
+        self._past_prefix = _add_prefix_stats(
+            self._past_prefix,
+            getattr(self.engine.scheduler.memory, "prefix_stats", None),
+        )
         self.engine = None
         self.alive = False
         self.recent_tbts.clear()
@@ -483,6 +511,7 @@ class _ReplicaSlot:
         events = self._past_events
         batches = self._past_batches
         wall_s = self._past_wall_s
+        prefix_stats = self._past_prefix
         kind = self._config.engine
         if self.engine is not None:
             records.extend(self.engine.records)
@@ -493,6 +522,10 @@ class _ReplicaSlot:
             batches += stats.num_batches
             wall_s += stats.wall_time_s
             kind = stats.kind
+            prefix_stats = _add_prefix_stats(
+                prefix_stats,
+                getattr(self.engine.scheduler.memory, "prefix_stats", None),
+            )
         return SimulationResult(
             requests=requests,
             records=records,
@@ -507,6 +540,7 @@ class _ReplicaSlot:
                 num_batches=batches,
                 wall_time_s=wall_s,
             ),
+            prefix_stats=prefix_stats,
         )
 
 

@@ -105,6 +105,11 @@ class SarathiScheduler(Scheduler):
             admitted = self._admit_waiting_head()
             if admitted is None:
                 break  # memory full
+            # Admission may have claimed a cached prefix, shrinking the
+            # remaining prefill below the pre-admission estimate;
+            # recompute so the chunk never overruns (still >= 1: the
+            # cache always leaves at least one token to prefill).
+            chunk = self._chunk_for(admitted, tokens_used)
             items.append(self._prefill_item(admitted, chunk))
             tokens_used += chunk
         return items

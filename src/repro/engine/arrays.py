@@ -53,6 +53,11 @@ _INT_FIELDS = (
     "num_emitted",
     "num_restarts",
     "phase",
+    # Prefix-cache identity (immutable; -1 encodes None for the id and
+    # the publish cap).
+    "prefix_id",
+    "prefix_len",
+    "prefix_publish_len",
 )
 _FLOAT_FIELDS = (
     "arrival_time",
@@ -117,6 +122,11 @@ class RequestArrays:
         self.num_emitted[row] = request.num_emitted
         self.num_restarts[row] = request.num_restarts
         self.phase[row] = _PHASE_TO_CODE[request.phase]
+        self.prefix_id[row] = -1 if request.prefix_id is None else request.prefix_id
+        self.prefix_len[row] = request.prefix_len
+        self.prefix_publish_len[row] = (
+            -1 if request.prefix_publish_len is None else request.prefix_publish_len
+        )
         self.arrival_time[row] = request.arrival_time
         self.first_scheduled_at[row] = _none_to_nan(request.first_scheduled_at)
         self.first_token_at[row] = _none_to_nan(request.first_token_at)
@@ -151,6 +161,14 @@ class RequestArrays:
         self.num_emitted[sl] = [r.num_emitted for r in requests]
         self.num_restarts[sl] = [r.num_restarts for r in requests]
         self.phase[sl] = [_PHASE_TO_CODE[r.phase] for r in requests]
+        self.prefix_id[sl] = [
+            -1 if r.prefix_id is None else r.prefix_id for r in requests
+        ]
+        self.prefix_len[sl] = [r.prefix_len for r in requests]
+        self.prefix_publish_len[sl] = [
+            -1 if r.prefix_publish_len is None else r.prefix_publish_len
+            for r in requests
+        ]
         self.arrival_time[sl] = [r.arrival_time for r in requests]
         self.first_scheduled_at[sl] = [
             _none_to_nan(r.first_scheduled_at) for r in requests

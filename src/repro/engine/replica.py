@@ -24,6 +24,7 @@ from repro.scheduling.base import Scheduler
 from repro.types import IterationTime, Request
 
 if TYPE_CHECKING:
+    from repro.memory.prefix import PrefixCacheStats
     from repro.perf.cache import CacheStats
 
 _ARRIVAL = "arrival"
@@ -76,6 +77,12 @@ class SimulationResult:
     # differential golden comparison alongside cache_stats — it
     # describes the engine, not the simulated system.
     engine_stats: "EngineStats | None" = None
+    # Prefix-cache counters from the scheduler's memory manager (None
+    # when prefix caching is off or the allocator is reservation-style).
+    # Excluded from the differential golden comparison only in the
+    # sense that both engines must produce *equal* stats — the
+    # conversation differential test asserts exactly that.
+    prefix_stats: "PrefixCacheStats | None" = None
 
     @property
     def finished_requests(self) -> list[Request]:
@@ -253,6 +260,7 @@ class ReplicaEngine:
             unfinished=[r for r in self._all_requests if not r.is_finished],
             cache_stats=getattr(self.exec_model, "cache_stats", None),
             engine_stats=self.engine_stats(),
+            prefix_stats=getattr(self.scheduler.memory, "prefix_stats", None),
         )
 
     def _dispatch(self, kind: str, payload: object, now: float) -> None:

@@ -325,6 +325,7 @@ class VectorizedReplicaEngine:
             unfinished=[A.requests[row] for row in unfinished_rows],
             cache_stats=getattr(self.exec_model, "cache_stats", None),
             engine_stats=self.engine_stats(),
+            prefix_stats=getattr(self.scheduler.memory, "prefix_stats", None),
         )
 
     # ------------------------------------------------------------------

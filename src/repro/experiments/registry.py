@@ -213,6 +213,20 @@ def _fleet(scale: Scale) -> Table:
     )
 
 
+def _prefix(scale: Scale) -> Table:
+    from repro.experiments.prefix_cache import capacity_gain, run_prefix_cache_capacity
+
+    points = run_prefix_cache_capacity(scale)
+    gains = capacity_gain(points)
+    rows = [
+        [str(p.chunk_size), p.variant, f"{p.capacity_qps:.2f}",
+         f"{p.hit_rate:.0%}", str(p.cow_copies),
+         f"{gains[p.chunk_size]:.2f}x" if p.variant == "cache-on" else "-"]
+        for p in points
+    ]
+    return (["chunk", "variant", "capacity qps", "hit rate", "COW", "gain"], rows)
+
+
 def _table4(scale: Scale) -> Table:
     from repro.experiments.table4_ablation import run_ablation
 
@@ -243,6 +257,9 @@ REGISTRY: dict[str, FigureEntry] = {
         FigureEntry("fig13b", "TP vs PP capacity", True, _fig13b),
         FigureEntry("fig14", "Chunked-prefill overhead", False, _fig14),
         FigureEntry("table4", "Technique ablation", False, _table4),
+        FigureEntry(
+            "prefix", "Prefix-cache capacity: hit rate × chunk × SLO", True, _prefix
+        ),
         FigureEntry("fleet", "Fleet goodput: replicas × faults × load", True, _fleet),
     )
 }

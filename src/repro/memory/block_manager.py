@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import abc
 
-from repro.types import Request
+from repro.memory.prefix import PrefixCacheStats, SharedPrefixStore
+from repro.types import Request, RequestPhase
 
 DEFAULT_BLOCK_SIZE = 16
 
@@ -63,12 +64,25 @@ class MemoryManager(abc.ABC):
 
 
 class PagedBlockManager(MemoryManager):
-    """vLLM-style paged allocator.
+    """vLLM-style paged allocator, optionally with KV prefix caching.
 
     Requests are admitted when blocks for their *prompt* are available
     (plus a watermark that prevents immediately thrashing) and grow one
     block at a time during decode.  There is no fragmentation: any free
     block serves any request.
+
+    With a :class:`~repro.memory.prefix.SharedPrefixStore` attached, an
+    admission whose request carries a ``prefix_id`` first looks up the
+    store: on a hit the cached whole blocks are claimed shared
+    (ref-counted, never copied) and the request's ``prefill_done``
+    jumps past them, so chunked prefill covers only the novel suffix
+    while ``context_len`` — and therefore attention cost and KV
+    occupancy — still reflects the full history.  Retained refcount-0
+    entries are evicted LRU-first whenever an admission or decode
+    append would otherwise fail, so sharing never deadlocks the
+    allocator.  The lookup fires only for fresh state
+    (``prefill_done == decode_steps == 0``): a swap-in restores its KV
+    from host memory and must not re-claim shared blocks.
     """
 
     def __init__(
@@ -76,6 +90,7 @@ class PagedBlockManager(MemoryManager):
         capacity_tokens: int,
         block_size: int = DEFAULT_BLOCK_SIZE,
         watermark: float = 0.01,
+        prefix_store: SharedPrefixStore | None = None,
     ) -> None:
         if capacity_tokens <= 0:
             raise ValueError("capacity_tokens must be positive")
@@ -83,11 +98,19 @@ class PagedBlockManager(MemoryManager):
             raise ValueError("block_size must be positive")
         if not 0.0 <= watermark < 1.0:
             raise ValueError("watermark must be in [0, 1)")
+        if prefix_store is not None and prefix_store.block_size != block_size:
+            raise ValueError(
+                f"prefix store block_size {prefix_store.block_size} != "
+                f"allocator block_size {block_size}"
+            )
         self.block_size = block_size
         self.num_blocks = capacity_tokens // block_size
         self._watermark_blocks = int(self.num_blocks * watermark)
         self._free_blocks = self.num_blocks
-        self._allocated: dict[int, int] = {}  # request_id -> blocks held
+        self._allocated: dict[int, int] = {}  # request_id -> exclusive blocks
+        self._store = prefix_store
+        # request_id -> (prefix_id, shared blocks claimed at admission)
+        self._claims: dict[int, tuple[int, int]] = {}
 
     def blocks_for(self, num_tokens: int) -> int:
         return (num_tokens + self.block_size - 1) // self.block_size
@@ -101,41 +124,129 @@ class PagedBlockManager(MemoryManager):
         """
         return self.blocks_for(max(request.prefill_target, request.context_len))
 
+    # -- prefix-cache plumbing ----------------------------------------
+    def _lookup_eligible(self, request: Request) -> bool:
+        """Fresh admissions (and recompute restarts) look up the store;
+        swap-ins carry KV progress back from host memory and do not."""
+        return (
+            self._store is not None
+            and request.prefix_id is not None
+            and request.prefill_done == 0
+            and request.decode_steps == 0
+        )
+
+    def _cached_tokens(self, request: Request) -> int:
+        """Usable cached tokens a lookup would yield now (0 = miss)."""
+        if not self._lookup_eligible(request):
+            return 0
+        return self._store.usable_tokens(
+            request.prefix_id, request.prefix_len, request.prefill_target
+        )
+
+    def _exclude_id(self, request: Request) -> int | None:
+        """Entry an ongoing admission must not evict (its own target)."""
+        return request.prefix_id if self._lookup_eligible(request) else None
+
+    def _evictable(self, exclude: int | None = None) -> int:
+        if self._store is None:
+            return 0
+        return self._store.evictable_blocks(exclude=exclude)
+
+    @property
+    def prefix_stats(self) -> PrefixCacheStats | None:
+        return self._store.stats if self._store is not None else None
+
+    @property
+    def shared_block_count(self) -> int:
+        return self._store.shared_blocks if self._store is not None else 0
+
     # -- MemoryManager ------------------------------------------------
     def can_admit(self, request: Request) -> bool:
-        needed = self._initial_blocks(request)
-        return self._free_blocks - needed >= self._watermark_blocks
+        needed = (
+            self._initial_blocks(request)
+            - self._cached_tokens(request) // self.block_size
+        )
+        evictable = self._evictable(exclude=self._exclude_id(request))
+        return self._free_blocks + evictable - needed >= self._watermark_blocks
 
     def admit(self, request: Request) -> None:
         if request.request_id in self._allocated:
             raise ValueError(f"request {request.request_id} already admitted")
-        needed = self._initial_blocks(request)
+        cached = 0
+        if self._lookup_eligible(request):
+            cached = self._store.claim(
+                request.prefix_id,
+                request.prefix_len,
+                request.prefill_target,
+                owner=request.request_id,
+            )
+        needed = self._initial_blocks(request) - cached // self.block_size
+        if needed > self._free_blocks and self._store is not None:
+            self._free_blocks += self._store.evict_for(
+                needed - self._free_blocks, exclude=request.prefix_id
+            )
         if needed > self._free_blocks:
+            if cached:
+                self._store.release(request.prefix_id, owner=request.request_id)
             raise MemoryError(
                 f"cannot admit request {request.request_id}: needs {needed} "
                 f"blocks, {self._free_blocks} free"
             )
         self._free_blocks -= needed
         self._allocated[request.request_id] = needed
+        if cached:
+            self._claims[request.request_id] = (request.prefix_id, cached // self.block_size)
+            # The cached span is already resident: chunked prefill
+            # resumes at the first novel token, while ``context_len``
+            # (and with it attention cost and KV occupancy) still
+            # covers the full history.
+            request.prefill_done = cached
 
     def can_append_token(self, request: Request) -> bool:
+        if request.request_id not in self._allocated:
+            raise ValueError(f"request {request.request_id} holds no allocation")
         if not self._needs_new_block(request):
             return True
-        return self._free_blocks >= 1
+        return self._free_blocks >= 1 or self._evictable() >= 1
 
     def append_token(self, request: Request) -> None:
         if request.request_id not in self._allocated:
             raise ValueError(f"request {request.request_id} holds no allocation")
         if not self._needs_new_block(request):
             return
+        if self._free_blocks < 1 and self._store is not None:
+            self._free_blocks += self._store.evict_for(1)
         if self._free_blocks < 1:
             raise MemoryError("out of KV blocks")
         self._free_blocks -= 1
         self._allocated[request.request_id] += 1
 
     def free(self, request: Request) -> None:
-        held = self._allocated.pop(request.request_id, 0)
+        held = self._allocated.pop(request.request_id, None)
+        if held is None:
+            return  # freeing a request that holds nothing is a no-op
         self._free_blocks += held
+        if self._store is None:
+            return
+        claim = self._claims.pop(request.request_id, None)
+        if claim is not None:
+            self._store.release(claim[0], owner=request.request_id)
+        # A *finished* request publishes its history back to the store;
+        # eviction/swap-out frees pass through untouched (their KV is
+        # either discarded or parked on the host, not shareable).
+        if request.phase is RequestPhase.FINISHED and request.prefix_id is not None:
+            publish = (
+                request.context_len
+                if request.prefix_publish_len is None
+                else min(request.prefix_publish_len, request.context_len)
+            )
+            absorbed = self._store.register(
+                request.prefix_id, request.prefix_len, publish
+            )
+            # Published blocks move from the just-freed exclusive pool
+            # into the store (always covered: the request's held blocks
+            # spanned its full context).
+            self._free_blocks -= absorbed
 
     @property
     def free_token_slots(self) -> int:
@@ -150,7 +261,10 @@ class PagedBlockManager(MemoryManager):
 
     # -- internals ----------------------------------------------------
     def _needs_new_block(self, request: Request) -> bool:
-        held_tokens = self._allocated.get(request.request_id, 0) * self.block_size
+        shared = self._claims.get(request.request_id, (0, 0))[1]
+        held_tokens = (
+            self._allocated.get(request.request_id, 0) + shared
+        ) * self.block_size
         return request.context_len + 1 > held_tokens
 
     @property

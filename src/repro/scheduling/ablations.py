@@ -89,6 +89,9 @@ class ChunkedPrefillsOnlyScheduler(Scheduler):
             admitted = self._admit_waiting_head()
             if admitted is None:
                 break
+            # Recompute after admission: a prefix-cache hit shrinks the
+            # remaining prefill (see SarathiScheduler._build_batch).
+            chunk = get_next_chunk_size(admitted, self.token_budget, tokens_used)
             items.append(self._prefill_item(admitted, chunk))
             tokens_used += chunk
         return items

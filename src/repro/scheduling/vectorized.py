@@ -33,6 +33,7 @@ from repro.engine.arrays import (
     PH_QUEUED,
     RequestArrays,
 )
+from repro.memory.prefix import PrefixCacheStats, SharedPrefixStore
 from repro.types import PreemptionMode
 
 __all__ = [
@@ -116,7 +117,16 @@ class VecBatch:
 # Memory managers over rows
 # ----------------------------------------------------------------------
 class VecPagedMemory:
-    """Row-indexed port of :class:`repro.memory.block_manager.PagedBlockManager`."""
+    """Row-indexed port of :class:`repro.memory.block_manager.PagedBlockManager`.
+
+    The prefix-cache extension mirrors the object allocator operation
+    for operation: lookups fire only for fresh rows, claimed shared
+    blocks shift ``prefill_done`` past the cached span, and retained
+    refcount-0 entries are evicted LRU-first when admissions or decode
+    appends need their blocks.  Both engines drive the same
+    deterministic :class:`SharedPrefixStore` logic, so stores evolve
+    bit-identically under the differential contract.
+    """
 
     def __init__(
         self,
@@ -124,6 +134,7 @@ class VecPagedMemory:
         capacity_tokens: int,
         block_size: int,
         watermark: float = 0.01,
+        prefix_store: SharedPrefixStore | None = None,
     ) -> None:
         if capacity_tokens <= 0:
             raise ValueError("capacity_tokens must be positive")
@@ -131,12 +142,22 @@ class VecPagedMemory:
             raise ValueError("block_size must be positive")
         if not 0.0 <= watermark < 1.0:
             raise ValueError("watermark must be in [0, 1)")
+        if prefix_store is not None and prefix_store.block_size != block_size:
+            raise ValueError(
+                f"prefix store block_size {prefix_store.block_size} != "
+                f"allocator block_size {block_size}"
+            )
         self.A = arrays
         self.block_size = block_size
         self.num_blocks = capacity_tokens // block_size
         self._watermark_blocks = int(self.num_blocks * watermark)
         self.free_blocks = self.num_blocks
         self._held = np.zeros(0, dtype=np.int64)
+        self._store = prefix_store
+        # Shared blocks each row claimed at admission (parallel to
+        # ``_held``, so the bulk-decode fast path stays vectorized).
+        self._shared = np.zeros(0, dtype=np.int64)
+        self._claim_prefix: dict[int, int] = {}  # row -> claimed prefix id
 
     def _held_arr(self) -> np.ndarray:
         if self._held.size < self.A.n:
@@ -144,6 +165,13 @@ class VecPagedMemory:
             grown[: self._held.size] = self._held
             self._held = grown
         return self._held
+
+    def _shared_arr(self) -> np.ndarray:
+        if self._shared.size < self.A.n:
+            grown = np.zeros(max(self.A.n, self._shared.size * 2, 1024), dtype=np.int64)
+            grown[: self._shared.size] = self._shared
+            self._shared = grown
+        return self._shared
 
     def blocks_for(self, num_tokens: int) -> int:
         return (num_tokens + self.block_size - 1) // self.block_size
@@ -153,42 +181,122 @@ class VecPagedMemory:
         context = int(A.prefill_done[row] + A.decode_steps[row])
         return self.blocks_for(max(int(A.prefill_target[row]), context))
 
-    def can_admit(self, row: int) -> bool:
-        return self.free_blocks - self._initial_blocks(row) >= self._watermark_blocks
+    # -- prefix-cache plumbing ----------------------------------------
+    def _lookup_eligible(self, row: int) -> bool:
+        A = self.A
+        return (
+            self._store is not None
+            and A.prefix_id[row] >= 0
+            and A.prefill_done[row] == 0
+            and A.decode_steps[row] == 0
+        )
 
-    def admit(self, row: int) -> None:
-        held = self._held_arr()
-        needed = self._initial_blocks(row)
+    def _cached_tokens(self, row: int) -> int:
+        if not self._lookup_eligible(row):
+            return 0
+        A = self.A
+        return self._store.usable_tokens(
+            int(A.prefix_id[row]),
+            int(A.prefix_len[row]),
+            int(A.prefill_target[row]),
+        )
+
+    def _exclude_id(self, row: int) -> int | None:
+        if not self._lookup_eligible(row):
+            return None
+        return int(self.A.prefix_id[row])
+
+    def _evictable(self, exclude: int | None = None) -> int:
+        if self._store is None:
+            return 0
+        return self._store.evictable_blocks(exclude=exclude)
+
+    @property
+    def prefix_stats(self) -> PrefixCacheStats | None:
+        return self._store.stats if self._store is not None else None
+
+    @property
+    def shared_block_count(self) -> int:
+        return self._store.shared_blocks if self._store is not None else 0
+
+    # -- allocator operations -----------------------------------------
+    def can_admit(self, row: int) -> bool:
+        needed = self._initial_blocks(row) - self._cached_tokens(row) // self.block_size
+        evictable = self._evictable(exclude=self._exclude_id(row))
+        return self.free_blocks + evictable - needed >= self._watermark_blocks
+
+    def _claim_and_reserve(self, row: int, needed_gate: bool) -> bool:
+        """Shared admit body: claim the prefix, evict, reserve blocks.
+
+        ``needed_gate`` selects the watermark check (try_admit) versus
+        the raise-on-failure contract (admit).  Returns False only in
+        gate mode.
+        """
+        A = self.A
+        cached = 0
+        if self._lookup_eligible(row):
+            cached = self._cached_tokens(row)
+        needed = self._initial_blocks(row) - cached // self.block_size
+        if needed_gate:
+            evictable = self._evictable(exclude=self._exclude_id(row))
+            if self.free_blocks + evictable - needed < self._watermark_blocks:
+                return False
+        if self._lookup_eligible(row):
+            claimed = self._store.claim(
+                int(A.prefix_id[row]),
+                int(A.prefix_len[row]),
+                int(A.prefill_target[row]),
+                owner=row,
+            )
+            assert claimed == cached
+        if needed > self.free_blocks and self._store is not None:
+            self.free_blocks += self._store.evict_for(
+                needed - self.free_blocks,
+                exclude=int(A.prefix_id[row]) if A.prefix_id[row] >= 0 else None,
+            )
         if needed > self.free_blocks:
+            if cached:
+                self._store.release(int(A.prefix_id[row]), owner=row)
             raise MemoryError(
                 f"cannot admit row {row}: needs {needed} blocks, "
                 f"{self.free_blocks} free"
             )
         self.free_blocks -= needed
-        held[row] = needed
+        self._held_arr()[row] = needed
+        if cached:
+            self._shared_arr()[row] = cached // self.block_size
+            self._claim_prefix[row] = int(A.prefix_id[row])
+            A.prefill_done[row] = cached
+        return True
+
+    def admit(self, row: int) -> None:
+        self._claim_and_reserve(row, needed_gate=False)
 
     def try_admit(self, row: int) -> bool:
-        """can_admit + admit with the block count computed once."""
-        needed = self._initial_blocks(row)
-        if self.free_blocks - needed < self._watermark_blocks:
-            return False
-        self.free_blocks -= needed
-        self._held_arr()[row] = needed
-        return True
+        """can_admit + admit fused (one lookup, one eviction scan)."""
+        return self._claim_and_reserve(row, needed_gate=True)
 
     def _needs_new_block(self, row: int) -> bool:
         A = self.A
-        held_tokens = int(self._held_arr()[row]) * self.block_size
+        held_tokens = int(
+            self._held_arr()[row] + self._shared_arr()[row]
+        ) * self.block_size
         return int(A.prefill_done[row] + A.decode_steps[row]) + 1 > held_tokens
 
     def can_append_token(self, row: int) -> bool:
+        if self._held_arr()[row] == 0:
+            raise ValueError(f"row {row} holds no allocation")
         if not self._needs_new_block(row):
             return True
-        return self.free_blocks >= 1
+        return self.free_blocks >= 1 or self._evictable() >= 1
 
     def append_token(self, row: int) -> None:
+        if self._held_arr()[row] == 0:
+            raise ValueError(f"row {row} holds no allocation")
         if not self._needs_new_block(row):
             return
+        if self.free_blocks < 1 and self._store is not None:
+            self.free_blocks += self._store.evict_for(1)
         if self.free_blocks < 1:
             raise MemoryError("out of KV blocks")
         self.free_blocks -= 1
@@ -196,8 +304,26 @@ class VecPagedMemory:
 
     def free(self, row: int) -> None:
         held = self._held_arr()
-        self.free_blocks += int(held[row])
+        h = int(held[row])
+        if h == 0:
+            return  # freeing a row that holds nothing is a no-op
+        self.free_blocks += h
         held[row] = 0
+        if self._store is None:
+            return
+        shared = self._shared_arr()
+        if shared[row]:
+            self._store.release(self._claim_prefix.pop(row), owner=row)
+            shared[row] = 0
+        A = self.A
+        if A.phase[row] == PH_FINISHED and A.prefix_id[row] >= 0:
+            context = int(A.prefill_done[row] + A.decode_steps[row])
+            cap = int(A.prefix_publish_len[row])
+            publish = context if cap < 0 else min(cap, context)
+            absorbed = self._store.register(
+                int(A.prefix_id[row]), int(A.prefix_len[row]), publish
+            )
+            self.free_blocks -= absorbed
 
     def try_bulk_decode(self, rows: np.ndarray, ctx: np.ndarray) -> bool:
         """Reserve one decode slot for every row, or change nothing.
@@ -205,13 +331,23 @@ class VecPagedMemory:
         Succeeds exactly when the object engine's per-row
         ``append_token`` sequence would have succeeded without
         preemption: each row needs at most one fresh block, so the
-        sequential drains succeed iff the free pool covers the count.
+        sequential drains succeed iff free + evictable blocks cover the
+        count.  Evicting the shortfall up front reclaims the same LRU
+        entries the object engine's one-block-at-a-time appends would
+        have, in the same order — no running row references a
+        refcount-0 entry, so candidates cannot differ.
         """
         held = self._held_arr()[rows]
-        needs = ctx + 1 > held * self.block_size
+        shared = self._shared_arr()[rows]
+        needs = ctx + 1 > (held + shared) * self.block_size
         count = int(needs.sum())
-        if count > self.free_blocks:
-            return False
+        shortfall = count - self.free_blocks
+        if shortfall > 0:
+            if self._store is None or self._evictable() < shortfall:
+                return False
+            self.free_blocks += self._store.evict_for(shortfall)
+            if count > self.free_blocks:  # pragma: no cover - defensive
+                return False
         if count:
             self._held[rows] = held + needs
             self.free_blocks -= count
@@ -509,8 +645,16 @@ class VecScheduler:
         if not self.waiting:
             return None
         head = self.waiting[0]
+        # A prefix-cache hit advances prefill_done inside try_admit;
+        # the skipped tokens leave the outstanding-work gauge (the
+        # object engine recomputes the gauge by scanning, so this
+        # adjustment keeps the counters bit-identical).
+        done_before = int(self.A.prefill_done[head])
         if not self.memory.try_admit(head):
             return None
+        cached = int(self.A.prefill_done[head]) - done_before
+        if cached:
+            self.outstanding_tokens -= cached
         self.waiting.popleft()
         self._run_add(head)
         return head
@@ -765,6 +909,11 @@ class VecSarathiScheduler(_ArrivalSortedMixin):
             admitted = self._admit_waiting_head()
             if admitted is None:
                 break  # memory full
+            # Admission may have claimed a cached prefix, shrinking the
+            # remaining prefill below the pre-admission estimate;
+            # recompute so the chunk never overruns (still >= 1: the
+            # cache always leaves at least one token to prefill).
+            chunk = self._chunk_for(admitted, tokens_used)
             add_prefill(admitted, chunk)
             tokens_used += chunk
             size += 1
@@ -1046,6 +1195,9 @@ class VecChunkedPrefillsOnlyScheduler(_ArrivalSortedMixin):
             admitted = self._admit_waiting_head()
             if admitted is None:
                 break
+            # Recompute after admission: a prefix-cache hit shrinks the
+            # remaining prefill (see VecSarathiScheduler._build_batch).
+            chunk = self._next_chunk(admitted, tokens_used)
             add_prefill(admitted, chunk)
             tokens_used += chunk
         if not p_rows:

@@ -96,6 +96,19 @@ def engine_rows(result: "SimulationResult") -> list[Row]:
     ]
 
 
+def prefix_cache_rows(result: "SimulationResult") -> list[Row]:
+    """One row of KV prefix-cache counters, when the run had a cache.
+
+    Empty when the run used a memory manager without a shared-prefix
+    store (reservation managers, or ``prefix_cache=False``), so sweeps
+    can concatenate tables across mixed configurations.
+    """
+    stats = result.prefix_stats
+    if stats is None:
+        return []
+    return [stats.as_row()]
+
+
 def write_jsonl(path: str | Path, rows: list[Row]) -> Path:
     """Write rows as JSON Lines; returns the resolved path."""
     path = Path(path)
@@ -170,11 +183,13 @@ def run_counters(result: "SimulationResult") -> Row:
     used the uncached model) so sweeps can track hit rates alongside
     scheduling health.
     """
+    from repro.memory.prefix import PrefixCacheStats
     from repro.perf.cache import CacheStats
 
     hybrid = sum(1 for r in result.records if r.stage == 0 and r.is_hybrid)
     stage0 = [r for r in result.records if r.stage == 0]
     cache = result.cache_stats if result.cache_stats is not None else CacheStats()
+    prefix = result.prefix_stats if result.prefix_stats is not None else PrefixCacheStats()
     return {
         "num_requests": len(result.requests),
         "num_finished": len(result.finished_requests),
@@ -191,4 +206,5 @@ def run_counters(result: "SimulationResult") -> Row:
             else 0.0
         ),
         **cache.as_row(),
+        **prefix.as_row(),
     }

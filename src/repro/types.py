@@ -95,6 +95,19 @@ class Request:
     # (used by fairness-aware schedulers; 0 = single-tenant default).
     client_id: int = 0
 
+    # --- prefix-cache identity (immutable) -------------------------
+    # Which shared-prefix lineage the request belongs to (conversation
+    # id, tenant id, …); None opts out of prefix caching entirely.
+    prefix_id: int | None = None
+    # How many leading prompt tokens are attested byte-identical to the
+    # lineage's published prefix; sharing never exceeds this.
+    prefix_len: int = 0
+    # Cap on how much of the *final* context this request publishes
+    # back to the store when it finishes: None publishes everything
+    # (conversation-style history), N publishes only the first N tokens
+    # (e.g. a tenant's shared system prompt).
+    prefix_publish_len: int | None = None
+
     # --- mutable serving state -------------------------------------
     phase: RequestPhase = RequestPhase.QUEUED
     prefill_target: int = 0          # tokens that must be (re)prefilled
@@ -112,6 +125,18 @@ class Request:
             raise ValueError(f"prompt_len must be positive, got {self.prompt_len}")
         if self.output_len <= 0:
             raise ValueError(f"output_len must be positive, got {self.output_len}")
+        if self.prefix_id is not None and self.prefix_id < 0:
+            raise ValueError(f"prefix_id must be non-negative, got {self.prefix_id}")
+        if not 0 <= self.prefix_len <= self.prompt_len:
+            raise ValueError(
+                f"prefix_len must be in [0, prompt_len], got {self.prefix_len} "
+                f"with prompt_len {self.prompt_len}"
+            )
+        if self.prefix_publish_len is not None and self.prefix_publish_len < 0:
+            raise ValueError(
+                f"prefix_publish_len must be non-negative or None, "
+                f"got {self.prefix_publish_len}"
+            )
         if self.prefill_target == 0:
             self.prefill_target = self.prompt_len
 

@@ -19,6 +19,12 @@ from repro.workload.conversation import (
     ConversationWorkload,
     simulate_conversations,
 )
+from repro.workload.production import (
+    DEFAULT_TENANTS,
+    ProductionSpec,
+    TenantClass,
+    generate_production_trace,
+)
 from repro.workload.distributions import (
     FixedLengths,
     LengthDistribution,
@@ -50,6 +56,10 @@ __all__ = [
     "ConversationSpec",
     "ConversationWorkload",
     "simulate_conversations",
+    "TenantClass",
+    "ProductionSpec",
+    "DEFAULT_TENANTS",
+    "generate_production_trace",
     "TraceStatistics",
     "save_trace",
     "load_trace",

@@ -8,6 +8,13 @@ after the previous round's response finishes plus a user think time,
 and every round's prompt carries the accumulated context (all prior
 prompts and responses) plus a fresh user turn.
 
+Rounds are tagged for the KV prefix cache (``Request.prefix_id`` /
+``prefix_len``) according to ``ConversationSpec.prefix_mode``, so with
+``ServingConfig.prefix_cache=True`` a follow-up round prefills only
+its novel suffix.  Conversation identities come from a workload-local
+counter — deterministic for a given seed, independent of the global
+request-id counter, and therefore identical across engine runs.
+
 Drive it through :meth:`repro.engine.replica.ReplicaEngine.run`'s
 ``followup_fn`` hook — see :func:`simulate_conversations`.
 """
@@ -23,6 +30,8 @@ from repro.engine.replica import SimulationResult
 from repro.metrics.summary import RunMetrics, summarize
 from repro.types import Request
 from repro.workload.distributions import LengthDistribution, LogNormalLengths
+
+PREFIX_MODES = ("conversation", "unique", "none")
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,13 @@ class ConversationSpec:
     mean_think_time: float = 5.0      # exponential pause between rounds (s)
     arrival_qps: float = 0.5          # Poisson arrivals of conversations
     max_context: int = 8192           # conversations stop at the cap
+    # How rounds announce shared history to the prefix cache:
+    # "conversation" tags every round with its conversation's id and
+    # the accumulated context as the attested prefix; "unique" gives
+    # every request a fresh id (a 100%-miss workload, used by the
+    # differential suite and the cache-off smoke); "none" leaves
+    # requests untagged.
+    prefix_mode: str = "conversation"
 
     def __post_init__(self) -> None:
         if self.num_conversations <= 0:
@@ -53,10 +69,18 @@ class ConversationSpec:
             raise ValueError("mean_think_time must be non-negative")
         if self.arrival_qps <= 0:
             raise ValueError("arrival_qps must be positive")
+        if self.max_context < 3:
+            raise ValueError("max_context must be >= 3 (turn + one output token)")
+        if self.prefix_mode not in PREFIX_MODES:
+            raise ValueError(
+                f"unknown prefix_mode {self.prefix_mode!r}; "
+                f"choose one of {PREFIX_MODES}"
+            )
 
 
 @dataclass
 class _ConversationState:
+    conversation_id: int
     rounds_left: int
     context_len: int
 
@@ -68,6 +92,8 @@ class ConversationWorkload:
         self.spec = spec
         self._rng = np.random.default_rng(seed)
         self._states: dict[int, _ConversationState] = {}
+        self._next_conversation_id = 0
+        self._next_unique_id = 0
         self.num_rounds_issued = 0
 
     # ------------------------------------------------------------------
@@ -81,13 +107,19 @@ class ConversationWorkload:
             prompt = spec.first_turn_lengths.sample(self._rng)
             output = spec.response_lengths.sample(self._rng)
             prompt, output = self._clip(prompt, output, context=0)
+            conversation_id = self._next_conversation_id
+            self._next_conversation_id += 1
             request = Request(
-                prompt_len=prompt, output_len=output, arrival_time=float(arrival)
+                prompt_len=prompt,
+                output_len=output,
+                arrival_time=float(arrival),
+                **self._prefix_fields(conversation_id, context=0),
             )
             # Geometric((1/mean)) rounds, at least one (this one).
             p = 1.0 / spec.mean_rounds
             total_rounds = int(self._rng.geometric(p))
             self._states[request.request_id] = _ConversationState(
+                conversation_id=conversation_id,
                 rounds_left=total_rounds - 1,
                 context_len=prompt + output,
             )
@@ -101,17 +133,29 @@ class ConversationWorkload:
         if state is None or state.rounds_left <= 0:
             return []
         spec = self.spec
-        if state.context_len >= spec.max_context:
+        # The cap check must leave room for the round *being added*: at
+        # least one fresh turn token and one output token.  (The old
+        # check compared the bare history against the cap, so a
+        # conversation one token under it still issued an over-cap
+        # round.)
+        if state.context_len > spec.max_context - 2:
             return []
         think = float(self._rng.exponential(spec.mean_think_time))
         turn = spec.followup_turn_lengths.sample(self._rng)
         output = spec.response_lengths.sample(self._rng)
+        # Clamp the turn so prompt = context + turn leaves at least one
+        # output token under the cap; >= 1 by the check above.
+        turn = min(turn, spec.max_context - 1 - state.context_len)
         prompt = state.context_len + turn   # full history re-prefilled
-        prompt, output = self._clip(prompt, output, context=0)
+        prompt, output = self._clip(prompt, output, context=state.context_len)
         request = Request(
-            prompt_len=prompt, output_len=output, arrival_time=now + think
+            prompt_len=prompt,
+            output_len=output,
+            arrival_time=now + think,
+            **self._prefix_fields(state.conversation_id, context=state.context_len),
         )
         self._states[request.request_id] = _ConversationState(
+            conversation_id=state.conversation_id,
             rounds_left=state.rounds_left - 1,
             context_len=prompt + output,
         )
@@ -119,9 +163,30 @@ class ConversationWorkload:
         return [request]
 
     # ------------------------------------------------------------------
+    def _prefix_fields(self, conversation_id: int, context: int) -> dict:
+        mode = self.spec.prefix_mode
+        if mode == "conversation":
+            # The attested prefix is exactly the accumulated history:
+            # everything before this round's fresh turn is shared with
+            # the previous round's published context.
+            return {"prefix_id": conversation_id, "prefix_len": context}
+        if mode == "unique":
+            unique = self._next_unique_id
+            self._next_unique_id += 1
+            return {"prefix_id": unique, "prefix_len": 0}
+        return {}
+
     def _clip(self, prompt: int, output: int, context: int) -> tuple[int, int]:
+        """Clamp one round so accumulated context never exceeds the cap.
+
+        ``context`` is the true history carried into the round (0 for a
+        first round); the prompt already contains it and can only be
+        clipped down to ``context + 1`` — history is materialized KV
+        and cannot shrink.  The output allowance is whatever the cap
+        leaves after the prompt.
+        """
         max_total = self.spec.max_context
-        prompt = min(prompt, max_total - 1)
+        prompt = min(prompt, max(context + 1, max_total - 1))
         output = min(output, max(1, max_total - prompt))
         return prompt, output
 

@@ -1,0 +1,154 @@
+"""Production-style traces: tenant system prompts + nonstationary load.
+
+Real serving deployments differ from the paper's stationary Poisson
+replays in two ways that matter for prefix caching and capacity
+planning:
+
+* **Shared system prompts.**  Requests belong to tenant classes (an
+  application, an agent persona) whose system prompt is a fixed
+  many-hundred-token prefix shared by every request of the class.
+  These are tagged with ``prefix_id = tenant index`` and
+  ``prefix_len = system_prompt_len`` so the KV prefix cache can serve
+  the system prompt from shared blocks; ``prefix_publish_len`` caps
+  what a finishing request publishes back at the system prompt itself
+  (the user's turn and the response are private, never shared).
+
+* **Nonstationary arrivals.**  Load follows a diurnal cycle with
+  superimposed bursts.  We synthesize this as a nonhomogeneous Poisson
+  process via Lewis–Shedler thinning: candidate arrivals are drawn at
+  the peak rate and kept with probability ``rate(t) / peak_rate``,
+  where ``rate(t)`` is a sinusoidal diurnal profile multiplied by a
+  two-state (calm/burst) Markov-modulated factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import Request
+from repro.workload.datasets import SHAREGPT4, DatasetSpec
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """A request class sharing one system prompt."""
+
+    name: str
+    system_prompt_len: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.system_prompt_len < 0:
+            raise ValueError("system_prompt_len must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+DEFAULT_TENANTS = (
+    TenantClass("assistant", system_prompt_len=1024, weight=5.0),
+    TenantClass("coder", system_prompt_len=2048, weight=3.0),
+    TenantClass("summarizer", system_prompt_len=512, weight=2.0),
+)
+
+
+@dataclass(frozen=True)
+class ProductionSpec:
+    """Shape of a multi-tenant production trace."""
+
+    num_requests: int
+    base_qps: float = 1.0
+    tenants: tuple[TenantClass, ...] = DEFAULT_TENANTS
+    dataset: DatasetSpec = field(default_factory=lambda: SHAREGPT4)
+    # Diurnal sinusoid: rate swings between base*(1 - amp) and
+    # base*(1 + amp) over one period.
+    diurnal_amplitude: float = 0.5
+    diurnal_period: float = 3600.0
+    # Two-state burst modulation: while bursting, the rate is
+    # multiplied by burst_factor; dwell times are exponential.
+    burst_factor: float = 3.0
+    mean_burst_duration: float = 30.0
+    mean_calm_duration: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.base_qps <= 0:
+            raise ValueError("base_qps must be positive")
+        if not self.tenants:
+            raise ValueError("need at least one tenant class")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if self.mean_burst_duration <= 0 or self.mean_calm_duration <= 0:
+            raise ValueError("burst/calm durations must be positive")
+
+
+class _BurstState:
+    """Two-state Markov-modulated rate factor, sampled lazily in time."""
+
+    def __init__(self, spec: ProductionSpec, rng: np.random.Generator) -> None:
+        self._spec = spec
+        self._rng = rng
+        self._bursting = False
+        self._until = float(rng.exponential(spec.mean_calm_duration))
+
+    def factor_at(self, t: float) -> float:
+        while t >= self._until:
+            self._bursting = not self._bursting
+            mean = (
+                self._spec.mean_burst_duration
+                if self._bursting
+                else self._spec.mean_calm_duration
+            )
+            self._until += float(self._rng.exponential(mean))
+        return self._spec.burst_factor if self._bursting else 1.0
+
+
+def generate_production_trace(spec: ProductionSpec, seed: int = 0) -> list[Request]:
+    """Synthesize a tenant-tagged trace under diurnal + bursty load.
+
+    Returned requests carry ``prefix_id`` / ``prefix_len`` /
+    ``prefix_publish_len`` for their tenant's system prompt, so the
+    trace exercises the prefix cache when ``ServingConfig.prefix_cache``
+    is on and degrades to a plain trace when it is off.
+    """
+    rng = np.random.default_rng(seed)
+    bursts = _BurstState(spec, rng)
+    peak = spec.base_qps * (1.0 + spec.diurnal_amplitude) * spec.burst_factor
+
+    weights = np.array([t.weight for t in spec.tenants], dtype=float)
+    weights /= weights.sum()
+
+    requests: list[Request] = []
+    t = 0.0
+    while len(requests) < spec.num_requests:
+        t += float(rng.exponential(1.0 / peak))
+        diurnal = 1.0 + spec.diurnal_amplitude * math.sin(
+            2.0 * math.pi * t / spec.diurnal_period
+        )
+        rate = spec.base_qps * diurnal * bursts.factor_at(t)
+        if rng.random() >= rate / peak:
+            continue  # thinned
+        tenant_idx = int(rng.choice(len(spec.tenants), p=weights))
+        tenant = spec.tenants[tenant_idx]
+        prompt, output = spec.dataset.sample_lengths(rng)
+        # The system prompt is part of the prompt, not in addition to
+        # it: pad short prompts up so the user turn stays non-empty.
+        prompt = max(prompt, tenant.system_prompt_len + 1)
+        requests.append(
+            Request(
+                prompt_len=prompt,
+                output_len=output,
+                arrival_time=t,
+                prefix_id=tenant_idx,
+                prefix_len=tenant.system_prompt_len,
+                prefix_publish_len=tenant.system_prompt_len,
+            )
+        )
+    return requests

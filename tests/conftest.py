@@ -74,7 +74,8 @@ def reservation_memory() -> ReservationManager:
 
 
 def shrink_kv_memory(
-    built, capacity_tokens: int = 4096, block_size: int = 16
+    built, capacity_tokens: int = 4096, block_size: int = 16,
+    prefix_cache: bool = False,
 ) -> None:
     """Swap a drastically smaller KV pool into a freshly built engine.
 
@@ -82,7 +83,12 @@ def shrink_kv_memory(
     force preemption pressure: the object scheduler gets a small
     ``PagedBlockManager``, the vectorized one the row-indexed
     ``VecPagedMemory`` of identical shape.  Call before ``run``.
+    ``prefix_cache`` attaches a fresh shared-prefix store, so cache
+    behavior under memory pressure can be exercised too.
     """
+    from repro.memory.prefix import SharedPrefixStore
+
+    store = SharedPrefixStore(block_size=block_size) if prefix_cache else None
     if built.kind == "vectorized":
         from repro.scheduling.vectorized import VecPagedMemory
 
@@ -91,10 +97,12 @@ def shrink_kv_memory(
             capacity_tokens=capacity_tokens,
             block_size=block_size,
             watermark=0.0,
+            prefix_store=store,
         )
     else:
         built.scheduler.memory = PagedBlockManager(
-            capacity_tokens=capacity_tokens, block_size=block_size, watermark=0.0
+            capacity_tokens=capacity_tokens, block_size=block_size, watermark=0.0,
+            prefix_store=store,
         )
 
 

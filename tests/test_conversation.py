@@ -98,6 +98,147 @@ class TestConversationWorkload:
         assert workload.followup(request, now=1.5) == []
 
 
+def drive(request) -> None:
+    request.record_prefill(request.prompt_len, now=1.0)
+    while not request.is_finished:
+        request.record_decode(now=1.5)
+
+
+class TestContextAccounting:
+    """Regression pins for the multi-round context-accounting fixes."""
+
+    def run_rounds(self, spec: ConversationSpec, seed: int = 0) -> list:
+        """Drive one conversation to exhaustion; returns its requests."""
+        workload = ConversationWorkload(spec, seed=seed)
+        rounds = [workload.initial_requests()[0]]
+        while True:
+            drive(rounds[-1])
+            nxt = workload.followup(rounds[-1], now=2.0)
+            if not nxt:
+                return rounds
+            rounds.append(nxt[0])
+
+    def test_round_by_round_growth_at_the_boundary(self):
+        """Pin the growth sequence right up to the cap.  The old
+        ``_clip`` ignored the accumulated context, so a late round
+        could clip its prompt *below* the history it must carry."""
+        spec = small_spec(
+            first_turn_lengths=FixedLengths(300),
+            followup_turn_lengths=FixedLengths(100),
+            response_lengths=FixedLengths(50),
+            max_context=800,
+            mean_rounds=50.0,
+        )
+        rounds = self.run_rounds(spec)
+        # Round 1: 300 + 50 = 350.  Round 2: 350 + 100 turn = 450,
+        # output 50 -> 500.  Round 3: 500 + 100 = 600, output 50 ->
+        # 650.  Round 4: 650 + 100 = 750, output clipped to 50 ->
+        # (750, 50) = 800 = cap.  Round 5: 800 > 798 -> stop.
+        assert [(r.prompt_len, r.output_len) for r in rounds] == [
+            (300, 50), (450, 50), (600, 50), (750, 50),
+        ]
+        context = 0
+        for r in rounds:
+            assert r.prompt_len > context  # history can never shrink
+            context = r.prompt_len + r.output_len
+            assert context <= spec.max_context
+
+    def test_prompt_never_clipped_below_context(self):
+        """A huge first round already near the cap: the follow-up's
+        prompt must keep the full history plus at least one turn token."""
+        spec = small_spec(
+            first_turn_lengths=FixedLengths(700),
+            followup_turn_lengths=FixedLengths(500),
+            response_lengths=FixedLengths(40),
+            max_context=800,
+            mean_rounds=50.0,
+        )
+        rounds = self.run_rounds(spec)
+        assert rounds[0].prompt_len == 700
+        assert len(rounds) >= 2
+        follow = rounds[1]
+        context = rounds[0].prompt_len + rounds[0].output_len  # 740
+        # Turn clamped to max_context - 1 - context = 59 >= 1.
+        assert follow.prompt_len == context + 59
+        assert follow.output_len == 1
+
+    def test_followup_offered_just_under_the_cap(self):
+        """Off-by-one fix: the pre-check must compare against the room
+        the *new* round needs (turn + one output token), not the bare
+        cap.  At context == max_context - 2 one more round still fits."""
+        spec = small_spec(
+            first_turn_lengths=FixedLengths(700),
+            followup_turn_lengths=FixedLengths(10),
+            response_lengths=FixedLengths(98),
+            max_context=800,
+            mean_rounds=50.0,
+        )
+        workload = ConversationWorkload(spec, seed=0)
+        first = workload.initial_requests()[0]
+        assert first.prompt_len + first.output_len == 798  # cap - 2
+        drive(first)
+        followups = workload.followup(first, now=2.0)
+        assert len(followups) == 1
+        assert followups[0].prompt_len == 799
+        assert followups[0].output_len == 1
+
+    def test_followup_stops_one_past_the_boundary(self):
+        spec = small_spec(
+            first_turn_lengths=FixedLengths(700),
+            followup_turn_lengths=FixedLengths(10),
+            response_lengths=FixedLengths(99),
+            max_context=800,
+            mean_rounds=50.0,
+        )
+        workload = ConversationWorkload(spec, seed=0)
+        first = workload.initial_requests()[0]
+        assert first.prompt_len + first.output_len == 799  # cap - 1
+        drive(first)
+        assert workload.followup(first, now=2.0) == []
+
+    def test_context_never_exceeds_cap_across_seeds(self):
+        for seed in range(5):
+            spec = small_spec(max_context=600, mean_rounds=20.0)
+            rounds = self.run_rounds(spec, seed=seed)
+            for r in rounds:
+                assert r.prompt_len + r.output_len <= 600
+
+
+class TestPrefixModes:
+    def test_conversation_mode_tags_rounds(self):
+        workload = ConversationWorkload(small_spec(mean_rounds=10.0), seed=2)
+        requests = workload.initial_requests()
+        assert [r.prefix_id for r in requests] == list(range(5))
+        assert all(r.prefix_len == 0 for r in requests)
+        first = requests[0]
+        drive(first)
+        followups = workload.followup(first, now=2.0)
+        if followups:
+            nxt = followups[0]
+            assert nxt.prefix_id == first.prefix_id
+            assert nxt.prefix_len == first.prompt_len + first.output_len
+
+    def test_unique_mode_never_repeats_ids(self):
+        spec = small_spec(mean_rounds=10.0, prefix_mode="unique")
+        workload = ConversationWorkload(spec, seed=2)
+        requests = list(workload.initial_requests())
+        for _ in range(3):
+            drive(requests[-1])
+            requests.extend(workload.followup(requests[-1], now=2.0))
+        ids = [r.prefix_id for r in requests]
+        assert len(set(ids)) == len(ids)
+        assert all(r.prefix_len == 0 for r in requests)
+
+    def test_none_mode_leaves_requests_untagged(self):
+        spec = small_spec(prefix_mode="none")
+        workload = ConversationWorkload(spec, seed=2)
+        assert all(r.prefix_id is None for r in workload.initial_requests())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="prefix_mode"):
+            small_spec(prefix_mode="bogus")
+
+
 class TestEngineFollowupHook:
     def test_followups_are_simulated(self, tiny_deployment):
         engine = build_engine(tiny_deployment, ServingConfig())

@@ -90,6 +90,21 @@ class TestPagedBlockManager:
         with pytest.raises(ValueError):
             mgr.append_token(make_request())
 
+    def test_can_append_without_allocation_rejected(self):
+        """``can_append_token`` must flag never-admitted requests loudly
+        (scheduler bug), matching ``append_token`` — not return True."""
+        mgr = PagedBlockManager(capacity_tokens=1024)
+        with pytest.raises(ValueError, match="holds no allocation"):
+            mgr.can_append_token(make_request())
+
+    def test_free_of_unknown_request_is_noop(self):
+        """``free`` of a request that was never admitted (or already
+        freed) is an explicit no-op: nothing changes, nothing raises."""
+        mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
+        free_before = mgr.free_blocks
+        mgr.free(make_request())
+        assert mgr.free_blocks == free_before
+
     def test_free_returns_blocks(self):
         mgr = PagedBlockManager(capacity_tokens=1024, block_size=16, watermark=0.0)
         r = make_request(prompt_len=160)
