@@ -38,6 +38,10 @@ Cases:
   stay bit-identical, pinning the cache's no-sharing contract — and
   the detail records the headline number: conversation capacity at a
   fixed P99-TBT SLO with the cache off vs on, per chunk size.
+* **leaderboard_smoke** — the two-policy scheduler leaderboard
+  (sarathi vs the SRPT oracle, capacity search skipped) run twice in
+  one process: a cold-registry run vs a process-warm rerun, which must
+  produce identical rankings cell for cell.
 
 Usage::
 
@@ -54,7 +58,7 @@ import random
 import sys
 import tempfile
 import time
-from dataclasses import replace
+from dataclasses import astuple, replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -608,6 +612,74 @@ def _timed_prefix_cache_conversation(
     )
 
 
+# ----------------------------------------------------------------------
+# Scheduler leaderboard determinism
+# ----------------------------------------------------------------------
+# The leaderboard's whole claim is that rankings are seeded and
+# reproducible; two policies keep the case under the CI budget while
+# still exercising all three workload generators per run.
+LEADERBOARD_POLICIES = ("sarathi", "srpt_oracle")
+LEADERBOARD_SCALE = Scale(num_requests=40, capacity_rel_tol=0.35, capacity_max_probes=7)
+LEADERBOARD_QUICK_SCALE = Scale(
+    num_requests=12, capacity_rel_tol=0.5, capacity_max_probes=3
+)
+
+
+def _leaderboard_fingerprint(rows) -> list[tuple]:
+    return [(row.rank, row.capacity_qps, astuple(row.cell)) for row in rows]
+
+
+def _timed_leaderboard(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+    """Leaderboard case: cold-registry run vs process-warm rerun.
+
+    Runs the two-policy mini-leaderboard (sarathi vs the SRPT oracle,
+    capacity search skipped) twice in the same process.  The first run
+    starts from a cleared execution-model registry; the second reuses
+    the warm per-process models.  Both runs must produce identical
+    rows cell for cell, and the detail records the oracle-vs-sarathi
+    mean-latency gap on the saturating static workload.
+    """
+    from repro.experiments.leaderboard import run_leaderboard
+
+    scale = replace(
+        LEADERBOARD_QUICK_SCALE if quick else LEADERBOARD_SCALE, seed=seed
+    )
+
+    def run():
+        start = time.perf_counter()
+        rows = run_leaderboard(
+            scale,
+            deployment=deployment,
+            schedulers=LEADERBOARD_POLICIES,
+            include_capacity=False,
+        )
+        return time.perf_counter() - start, rows
+
+    clear_process_models()
+    cold_s, cold = run()
+    warm_s, warm = run()
+    identical = _leaderboard_fingerprint(cold) == _leaderboard_fingerprint(warm)
+
+    static = {
+        row.cell.scheduler: row.cell for row in cold if row.cell.workload == "static"
+    }
+    oracle = static["srpt_oracle"]
+    sarathi = static["sarathi"]
+    return BenchCase(
+        name="leaderboard_smoke",
+        uncached_seconds=cold_s,
+        cached_seconds=warm_s,
+        identical=identical,
+        detail=(
+            f"{deployment.label}, {len(LEADERBOARD_POLICIES)} policies x 3 "
+            f"workloads, seed={scale.seed}; static qps {oracle.qps:g}: "
+            f"srpt_oracle mean latency {oracle.mean_latency:.2f}s vs sarathi "
+            f"{sarathi.mean_latency:.2f}s; timed columns = cold-registry run "
+            f"vs process-warm rerun (must rank identically)"
+        ),
+    )
+
+
 def bench_simulator_cache_speed(benchmark, report):
     """pytest entry: quick variant of the harness, same assertions."""
     deployment = Deployment(model=TINY_1B, gpu=A100_80G)
@@ -623,7 +695,8 @@ def bench_simulator_cache_speed(benchmark, report):
                 cache_dir=Path(cache_dir), quick=True,
             )
         prefix = _timed_prefix_cache_conversation(deployment, quick=True, seed=0)
-        return [sweep, hybrid, *grid, prefix]
+        leaderboard = _timed_leaderboard(deployment, quick=True, seed=0)
+        return [sweep, hybrid, *grid, prefix, leaderboard]
 
     cases = benchmark.pedantic(run, rounds=1, iterations=1)
     report(
@@ -689,9 +762,11 @@ def main(argv: list[str] | None = None) -> int:
     vec_fleet_case = _timed_vectorized_fleet(vec_deployment, args.quick, args.seed)
     print("timing prefix-cache conversation capacity…", flush=True)
     prefix_case = _timed_prefix_cache_conversation(deployment, args.quick, args.seed)
+    print("timing scheduler leaderboard (2-policy smoke)…", flush=True)
+    leaderboard_case = _timed_leaderboard(deployment, args.quick, args.seed)
     cases = [
         sweep_case, hybrid_case, *grid_cases,
-        vec_replica_case, vec_fleet_case, prefix_case,
+        vec_replica_case, vec_fleet_case, prefix_case, leaderboard_case,
     ]
 
     print()

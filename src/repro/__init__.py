@@ -46,7 +46,6 @@ from repro.cluster import (
     LeastOutstandingTokensRouter,
     ReplicaFault,
     SloAwareRouter,
-    simulate_cluster,
     simulate_fleet,
 )
 from repro.types import (
@@ -66,7 +65,6 @@ __all__ = [
     "SchedulerKind",
     "PreemptionMode",
     "simulate",
-    "simulate_cluster",
     "simulate_fleet",
     "FleetConfig",
     "FleetResult",

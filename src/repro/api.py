@@ -12,12 +12,9 @@ import copy
 import os
 from dataclasses import dataclass, field, replace
 
-from repro.core.dynamic import DynamicSarathiScheduler
-from repro.core.sarathi import SarathiScheduler
 from repro.engine.arrays import RequestArrays
 from repro.engine.replica import ReplicaEngine, SimulationResult
 from repro.engine.vectorized import VectorizedReplicaEngine
-from repro.perf.profiler import derive_slo
 from repro.hardware.gpu import GPUSpec
 from repro.memory.block_manager import (
     DEFAULT_BLOCK_SIZE,
@@ -37,24 +34,18 @@ from repro.parallel.config import ParallelConfig
 from repro.perf.cache import DEFAULT_MAX_ENTRIES, CachedExecutionModel
 from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.perf.iteration import ExecutionModel
-from repro.scheduling.ablations import (
-    ChunkedPrefillsOnlyScheduler,
-    hybrid_batching_only_scheduler,
-)
 from repro.scheduling.base import DEFAULT_MAX_BATCH_SIZE, Scheduler
-from repro.scheduling.faster_transformer import FasterTransformerScheduler
-from repro.scheduling.orca import OrcaScheduler
+from repro.scheduling.registry import (
+    SchedulerBuildContext,
+    VecSchedulerBuildContext,
+    resolve,
+    scheduler_name,
+)
 from repro.scheduling.vectorized import (
-    VecChunkedPrefillsOnlyScheduler,
-    VecFasterTransformerScheduler,
-    VecOrcaScheduler,
     VecPagedMemory,
     VecReservationMemory,
-    VecSarathiScheduler,
     VecScheduler,
-    VecVLLMScheduler,
 )
-from repro.scheduling.vllm import VLLMScheduler
 from repro.types import PreemptionMode, Request, SchedulerKind
 
 
@@ -90,7 +81,16 @@ class Deployment:
 class ServingConfig:
     """Scheduler choice and its knobs."""
 
-    scheduler: SchedulerKind = SchedulerKind.SARATHI
+    # Any name from the scheduler registry (repro.scheduling.registry);
+    # the SchedulerKind enum keeps working as a shim whose values are
+    # registry names.  The default can be flipped process-wide with the
+    # REPRO_SCHEDULER environment variable; the CLI exposes it as
+    # --scheduler.
+    scheduler: SchedulerKind | str = field(
+        default_factory=lambda: os.environ.get(
+            "REPRO_SCHEDULER", SchedulerKind.SARATHI
+        )
+    )
     token_budget: int = 512
     max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
     block_size: int = DEFAULT_BLOCK_SIZE
@@ -172,14 +172,28 @@ class ServingConfig:
         object.__setattr__(
             self, "preemption_mode", PreemptionMode.parse(self.preemption_mode)
         )
+        # Normalize enum-valued scheduler strings to the enum so legacy
+        # `config.scheduler is SchedulerKind.X` comparisons keep
+        # working.  Names beyond the enum (plug-in schedulers) stay as
+        # strings and are validated — with did-you-mean suggestions —
+        # against the registry at build time, after any late
+        # registrations.
+        if isinstance(self.scheduler, str):
+            try:
+                object.__setattr__(
+                    self, "scheduler", SchedulerKind(self.scheduler)
+                )
+            except ValueError:
+                pass
 
     def with_budget(self, token_budget: int) -> "ServingConfig":
         return replace(self, token_budget=token_budget)
 
 
 def build_memory(deployment: Deployment, config: ServingConfig) -> MemoryManager:
-    """Construct the memory manager matching the scheduler family."""
-    if config.scheduler in (SchedulerKind.FASTER_TRANSFORMER, SchedulerKind.ORCA):
+    """Construct the memory manager matching the scheduler's declared family."""
+    spec = resolve(config.scheduler)
+    if spec.memory_family == "reservation":
         capacity = deployment.kv_capacity_tokens(reservation_style=True)
         return ReservationManager(capacity, reserve_len=config.reserve_len)
     capacity = deployment.kv_capacity_tokens(reservation_style=False)
@@ -219,126 +233,63 @@ def build_scheduler(
 
     ``exec_model`` lets dynamic (SLO-driven) schedulers price candidate
     iterations on the same — possibly cached — model the engine runs
-    on, instead of building their own.
+    on, instead of building their own.  Dispatch goes through the
+    scheduler registry (:mod:`repro.scheduling.registry`): any
+    registered name — or the :class:`~repro.types.SchedulerKind` shim —
+    builds here; unknown names fail with nearest-name suggestions.
     """
-    memory = build_memory(deployment, config)
-    kind = config.scheduler
-    if kind is SchedulerKind.FASTER_TRANSFORMER:
-        return FasterTransformerScheduler(memory, config.max_batch_size)
-    if kind is SchedulerKind.ORCA:
-        return OrcaScheduler(memory, config.max_batch_size)
-    kv_bytes = deployment.model.kv_bytes_per_token
-    if kind is SchedulerKind.VLLM:
-        return VLLMScheduler(
-            memory,
-            config.max_batch_size,
-            preemption_mode=config.preemption_mode,
-            kv_bytes_per_token=kv_bytes,
-        )
-    if kind is SchedulerKind.SARATHI:
-        return SarathiScheduler(
-            memory,
-            token_budget=config.token_budget,
-            max_batch_size=config.max_batch_size,
-            preemption_mode=config.preemption_mode,
-            kv_bytes_per_token=kv_bytes,
-        )
-    if kind is SchedulerKind.SARATHI_DYNAMIC:
-        if exec_model is None:
-            exec_model = execution_model_for(deployment, config)
-        slo = config.tbt_slo
-        if slo is None:
-            slo = derive_slo(exec_model, strict=True)
-
-        def iteration_cost(works, _exec_model=exec_model):
-            stage = _exec_model.iteration_time(works).total
-            pp = _exec_model.parallel.pipeline_parallel
-            if pp == 1:
-                return stage
-            return pp * stage + (pp - 1) * _exec_model.pipeline_send_time(works)
-
-        return DynamicSarathiScheduler(
-            memory,
-            tbt_slo=slo,
-            iteration_cost=iteration_cost,
-            max_batch_size=config.max_batch_size,
-        )
-    if kind is SchedulerKind.CHUNKED_ONLY:
-        return ChunkedPrefillsOnlyScheduler(
-            memory, token_budget=config.token_budget, max_batch_size=config.max_batch_size
-        )
-    if kind is SchedulerKind.HYBRID_ONLY:
-        return hybrid_batching_only_scheduler(
-            memory, token_budget=config.token_budget, max_batch_size=config.max_batch_size
-        )
-    raise ValueError(f"unknown scheduler kind {kind!r}")
+    spec = resolve(config.scheduler)
+    context = SchedulerBuildContext(
+        deployment=deployment,
+        config=config,
+        memory=build_memory(deployment, config),
+        kv_bytes_per_token=deployment.model.kv_bytes_per_token,
+        _exec_model=exec_model,
+        _exec_model_factory=lambda: execution_model_for(deployment, config),
+    )
+    return spec.build(context)
 
 
 def build_vectorized_scheduler(
     deployment: Deployment, config: ServingConfig
 ) -> VecScheduler:
-    """Construct the array-backed scheduler core (and its memory)."""
-    kind = config.scheduler
+    """Construct the array-backed scheduler core (and its memory).
+
+    Vectorized support is a registry capability: specs without a
+    vectorized factory (``sarathi_dynamic``, plug-in policies) fail
+    loudly here with the spec's stated reason.
+    """
+    spec = resolve(config.scheduler)
+    if spec.build_vectorized is None:
+        raise ValueError(
+            f"the vectorized engine does not support scheduler "
+            f"{scheduler_name(config.scheduler)!r} "
+            f"({spec.vectorized_unsupported_reason}); use engine='object'"
+        )
     arrays = RequestArrays()
-    if kind in (SchedulerKind.FASTER_TRANSFORMER, SchedulerKind.ORCA):
+    if spec.memory_family == "reservation":
         capacity = deployment.kv_capacity_tokens(reservation_style=True)
-        memory = VecReservationMemory(arrays, capacity, reserve_len=config.reserve_len)
-        if kind is SchedulerKind.FASTER_TRANSFORMER:
-            return VecFasterTransformerScheduler(
-                arrays, memory, config.max_batch_size
-            )
-        return VecOrcaScheduler(arrays, memory, config.max_batch_size)
-    capacity = deployment.kv_capacity_tokens(reservation_style=False)
-    store = (
-        SharedPrefixStore(block_size=config.block_size)
-        if config.prefix_cache
-        else None
+        memory = VecReservationMemory(
+            arrays, capacity, reserve_len=config.reserve_len
+        )
+    else:
+        capacity = deployment.kv_capacity_tokens(reservation_style=False)
+        store = (
+            SharedPrefixStore(block_size=config.block_size)
+            if config.prefix_cache
+            else None
+        )
+        memory = VecPagedMemory(
+            arrays, capacity, block_size=config.block_size, prefix_store=store
+        )
+    context = VecSchedulerBuildContext(
+        deployment=deployment,
+        config=config,
+        arrays=arrays,
+        memory=memory,
+        kv_bytes_per_token=deployment.model.kv_bytes_per_token,
     )
-    paged = VecPagedMemory(
-        arrays, capacity, block_size=config.block_size, prefix_store=store
-    )
-    kv_bytes = deployment.model.kv_bytes_per_token
-    if kind is SchedulerKind.VLLM:
-        return VecVLLMScheduler(
-            arrays,
-            paged,
-            config.max_batch_size,
-            preemption_mode=config.preemption_mode,
-            kv_bytes_per_token=kv_bytes,
-        )
-    if kind is SchedulerKind.SARATHI:
-        return VecSarathiScheduler(
-            arrays,
-            paged,
-            token_budget=config.token_budget,
-            max_batch_size=config.max_batch_size,
-            preemption_mode=config.preemption_mode,
-            kv_bytes_per_token=kv_bytes,
-        )
-    if kind is SchedulerKind.CHUNKED_ONLY:
-        return VecChunkedPrefillsOnlyScheduler(
-            arrays,
-            paged,
-            token_budget=config.token_budget,
-            max_batch_size=config.max_batch_size,
-        )
-    if kind is SchedulerKind.HYBRID_ONLY:
-        core = VecSarathiScheduler(
-            arrays,
-            paged,
-            token_budget=config.token_budget,
-            max_batch_size=config.max_batch_size,
-            chunk_prefills=False,
-            preemption_mode=config.preemption_mode,
-            kv_bytes_per_token=kv_bytes,
-        )
-        core.name = "hybrid-batching-only"
-        return core
-    raise ValueError(
-        f"the vectorized engine does not support scheduler {kind!r} "
-        "(dynamic budget control needs per-candidate iteration pricing); "
-        "use engine='object'"
-    )
+    return spec.build_vectorized(context)
 
 
 def build_engine(

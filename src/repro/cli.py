@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.api import Deployment, ServingConfig, simulate
 from repro.experiments.capacity_runner import serving_config_for
@@ -30,7 +31,7 @@ from repro.perf.profiler import (
     profile_token_budgets,
     reference_decode_time,
 )
-from repro.types import SchedulerKind
+from repro.scheduling.registry import list_specs, resolve
 from repro.workload.datasets import generate_requests, get_dataset
 
 
@@ -62,6 +63,27 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     if getattr(args, "engine", None) is None:
         return {}
     return {"engine": args.engine}
+
+
+def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        metavar="NAME",
+        help="any registered scheduler name (see `schedulers`; default "
+        "sarathi, or REPRO_SCHEDULER)",
+    )
+
+
+def _scheduler_from(args: argparse.Namespace) -> str:
+    """Resolve the --scheduler flag (or REPRO_SCHEDULER, or sarathi)
+    against the registry now, so typos fail with the did-you-mean error
+    before any simulation work starts."""
+    name = args.scheduler
+    if name is None:
+        name = os.environ.get("REPRO_SCHEDULER", "sarathi")
+    resolve(name)
+    return name
 
 
 def _add_perf_cache_arg(parser: argparse.ArgumentParser) -> None:
@@ -177,14 +199,25 @@ def _deployment_from(args: argparse.Namespace) -> Deployment:
 def _cmd_list(args: argparse.Namespace) -> int:
     print("models:   ", ", ".join(list_models()))
     print("datasets: ", "openchat_sharegpt4, arxiv_summarization")
-    print("schedulers:", ", ".join(kind.value for kind in SchedulerKind))
+    print("schedulers:", ", ".join(spec.name for spec in list_specs()))
+    return 0
+
+
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    print("registered schedulers (repro.scheduling.registry):")
+    for spec in list_specs():
+        engines = "object+vectorized" if spec.supports_vectorized else "object"
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"  {spec.name:22s} {engines:18s} {spec.memory_family:12s} "
+              f"{spec.description}{aliases}")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     deployment = _deployment_from(args)
+    scheduler = _scheduler_from(args)
     config = ServingConfig(
-        scheduler=SchedulerKind(args.scheduler),
+        scheduler=scheduler,
         token_budget=args.token_budget,
         perf_cache=_perf_cache_from(args),
         **_engine_kwargs(args),
@@ -211,7 +244,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result, metrics = simulate(deployment, config, trace)
         workload_line = f"{dataset.name}, {args.requests} requests @ {args.qps} qps"
     print(f"deployment: {deployment.label}")
-    print(f"scheduler:  {args.scheduler} (budget {args.token_budget})")
+    print(f"scheduler:  {scheduler} (budget {args.token_budget})")
     if result.engine_stats is not None:
         stats = result.engine_stats
         print(
@@ -256,12 +289,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 0
 
     deployment = _deployment_from(args)
+    scheduler = _scheduler_from(args)
     dataset = get_dataset(args.dataset)
     trace = generate_requests(
         dataset, num_requests=args.requests, qps=args.qps, seed=args.seed
     )
     config = ServingConfig(
-        scheduler=SchedulerKind(args.scheduler),
+        scheduler=scheduler,
         token_budget=args.token_budget,
         perf_cache=_perf_cache_from(args),
         **_engine_kwargs(args),
@@ -291,7 +325,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         result, RequestSLO(ttft_deadline=DEFAULT_TTFT_DEADLINE, tbt_deadline=slo.p99_tbt)
     )
     print(f"deployment: {deployment.label} × {args.replicas} replicas")
-    print(f"scheduler:  {args.scheduler} (budget {args.token_budget}), "
+    print(f"scheduler:  {scheduler} (budget {args.token_budget}), "
           f"router {args.router}")
     print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
     print(f"faults:     {len(fleet_config.faults.faults)} scheduled "
@@ -316,7 +350,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     dataset = get_dataset(args.dataset)
     strict = args.slo == "strict"
     slo = derived_slo(deployment.execution_model(), strict=strict)
-    scheduler = SchedulerKind(args.scheduler)
+    scheduler = _scheduler_from(args)
     config = serving_config_for(
         deployment, scheduler, strict, perf_cache=_perf_cache_from(args)
     )
@@ -325,7 +359,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         capacity_rel_tol=0.15,
         capacity_max_probes=args.probes,
     )
-    print(f"searching capacity for {deployment.label} / {scheduler.value} on "
+    print(f"searching capacity for {deployment.label} / {scheduler} on "
           f"{dataset.name} under {slo.name} SLO (P99 TBT <= {slo.p99_tbt:.3f} s)…")
     spec = CapacityCellSpec(
         deployment=deployment,
@@ -361,6 +395,33 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     if total_retries:
         print(f"supervisor: {total_retries} task retries, "
               f"{sum(r.num_respawns for r in reports)} pool respawns")
+    return 0
+
+
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.experiments.common import DEFAULT, FULL, SMOKE, format_table
+    from repro.experiments.leaderboard import leaderboard_table, run_leaderboard
+    from repro.runtime import sweep_env
+
+    schedulers = None
+    if args.schedulers:
+        schedulers = tuple(
+            name.strip() for name in args.schedulers.split(",") if name.strip()
+        )
+        for name in schedulers:
+            resolve(name)  # fail with did-you-mean before any work starts
+    scale = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}[args.scale]
+    with sweep_env(**_sweep_kwargs(args)):
+        rows = run_leaderboard(
+            scale,
+            deployment=_deployment_from(args),
+            schedulers=schedulers,
+            include_capacity=not args.no_capacity,
+        )
+    headers, table = leaderboard_table(rows)
+    print("scheduler leaderboard — ranked by mean latency at saturation")
+    print()
+    print(format_table(headers, table))
     return 0
 
 
@@ -431,6 +492,11 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    sub.add_parser(
+        "schedulers",
+        help="list registered schedulers: engines, memory family, description",
+    ).set_defaults(func=_cmd_schedulers)
+
     sim = sub.add_parser("simulate", help="run one trace and print latency metrics")
     _add_deployment_args(sim)
     sim.add_argument("--dataset", default="openchat_sharegpt4")
@@ -438,8 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["trace", "conversation"],
                      help="open-loop dataset trace, or closed-loop multi-round "
                      "conversations (--requests counts conversations)")
-    sim.add_argument("--scheduler", default="sarathi",
-                     choices=[k.value for k in SchedulerKind])
+    _add_scheduler_arg(sim)
     sim.add_argument("--qps", type=float, default=1.0)
     sim.add_argument("--requests", type=int, default=128)
     sim.add_argument("--token-budget", type=int, default=512)
@@ -456,8 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_deployment_args(fleet)
     fleet.add_argument("--replicas", type=int, default=2, help="fleet size")
     fleet.add_argument("--dataset", default="openchat_sharegpt4")
-    fleet.add_argument("--scheduler", default="sarathi",
-                       choices=[k.value for k in SchedulerKind])
+    _add_scheduler_arg(fleet)
     fleet.add_argument("--qps", type=float, default=2.0, help="aggregate arrival rate")
     fleet.add_argument("--requests", type=int, default=128)
     fleet.add_argument("--token-budget", type=int, default=512)
@@ -487,8 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     cap = sub.add_parser("capacity", help="search the max sustainable QPS under an SLO")
     _add_deployment_args(cap)
     cap.add_argument("--dataset", default="openchat_sharegpt4")
-    cap.add_argument("--scheduler", default="sarathi",
-                     choices=[k.value for k in SchedulerKind])
+    _add_scheduler_arg(cap)
     cap.add_argument("--slo", choices=["strict", "relaxed"], default="strict")
     cap.add_argument("--requests", type=int, default=128)
     cap.add_argument("--probes", type=int, default=12)
@@ -496,6 +559,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_args(cap)
     _add_perf_cache_arg(cap)
     cap.set_defaults(func=_cmd_capacity)
+
+    board = sub.add_parser(
+        "leaderboard",
+        help="rank all registered schedulers across the workload suite",
+    )
+    _add_deployment_args(board)
+    board.add_argument(
+        "--scale", choices=["smoke", "default", "full"], default="smoke"
+    )
+    board.add_argument(
+        "--schedulers",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated registry names to rank (default: all)",
+    )
+    board.add_argument(
+        "--no-capacity",
+        action="store_true",
+        help="skip the per-scheduler strict-SLO capacity search (much faster)",
+    )
+    _add_sweep_args(board)
+    board.set_defaults(func=_cmd_leaderboard)
 
     budget = sub.add_parser("budget", help="derive SLOs and token budgets (§4.3)")
     _add_deployment_args(budget)

@@ -91,7 +91,17 @@ def simulate_cluster(
     the :func:`repro.api.simulate` signature: the former cuts the run
     short, the latter shares one warm execution model across the fleet.
     """
+    import warnings
+
     from repro.cluster.fleet import FleetConfig, simulate_fleet
+
+    warnings.warn(
+        "simulate_cluster is deprecated; use "
+        "repro.cluster.fleet.simulate_fleet (zero faults, unbounded "
+        "admission reproduces the old behavior)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")

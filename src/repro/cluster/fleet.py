@@ -760,6 +760,15 @@ class FleetSimulator:
             else:
                 self._reject(request, attempt, now, queue, choice, "queue_full")
                 return
+        # Policy admission hook (see repro.scheduling.policy): a
+        # scheduler exposing ``admission_hook`` sees the chosen
+        # replica's live snapshot and may defer the request into the
+        # backoff-retry loop.  Schedulers without the hook — including
+        # every vectorized core — admit unconditionally, as before.
+        hook = getattr(self.replicas[choice].engine.scheduler, "admission_hook", None)
+        if hook is not None and not hook(snapshots[choice], request, now):
+            self._reject(request, attempt, now, queue, choice, "policy_deferred")
+            return
         self.replicas[choice].engine.deliver(request, now)
         self._slot_dirty[choice] = True
         self.assignments.setdefault(request.request_id, choice)

@@ -36,6 +36,7 @@ from repro.metrics.capacity import CapacityResult, find_capacity
 from repro.metrics.slo import SLOSpec, derived_slo
 from repro.perf.cache import CachedExecutionModel
 from repro.runtime import map_tasks, persist_execution_model, shared_execution_model
+from repro.scheduling.registry import scheduler_name
 from repro.telemetry.sweep import capacity_probe_rows
 from repro.types import SchedulerKind
 from repro.workload.datasets import DatasetSpec, generate_requests
@@ -65,7 +66,7 @@ def token_budget_for(deployment: Deployment, strict: bool) -> int:
 
 def serving_config_for(
     deployment: Deployment,
-    scheduler: SchedulerKind,
+    scheduler: SchedulerKind | str,
     strict: bool,
     max_batch_size: int = 128,
     token_budget: int | None = None,
@@ -102,7 +103,7 @@ MIN_LOAD_DURATION = 60.0
 
 def measure_capacity(
     deployment: Deployment,
-    scheduler: SchedulerKind,
+    scheduler: SchedulerKind | str,
     dataset: DatasetSpec,
     slo: SLOSpec,
     scale: Scale,
@@ -148,7 +149,7 @@ def measure_capacity(
 
 def capacity_cell(
     deployment: Deployment,
-    scheduler: SchedulerKind,
+    scheduler: SchedulerKind | str,
     dataset: DatasetSpec,
     strict: bool,
     scale: Scale,
@@ -165,7 +166,7 @@ def capacity_cell(
     )
     return CapacityCell(
         deployment=deployment.label,
-        scheduler=scheduler.value,
+        scheduler=scheduler_name(scheduler),
         dataset=dataset.name,
         slo_name=slo.name,
         slo_p99_tbt=slo.p99_tbt,
@@ -195,7 +196,7 @@ class CapacityCellSpec:
     """
 
     deployment: Deployment
-    scheduler: SchedulerKind
+    scheduler: SchedulerKind | str
     dataset: DatasetSpec
     scale: Scale
     strict: bool | None = None
@@ -288,7 +289,7 @@ def run_capacity_cell(spec: CapacityCellSpec) -> CellOutcome:
 
     labels = {
         "deployment": deployment.label,
-        "scheduler": spec.scheduler.value,
+        "scheduler": scheduler_name(spec.scheduler),
         "dataset": spec.dataset.name,
         "slo": slo.name,
         "variant": spec.variant,
@@ -296,7 +297,7 @@ def run_capacity_cell(spec: CapacityCellSpec) -> CellOutcome:
     return CellOutcome(
         cell=CapacityCell(
             deployment=deployment.label,
-            scheduler=spec.scheduler.value,
+            scheduler=scheduler_name(spec.scheduler),
             dataset=spec.dataset.name,
             slo_name=slo.name,
             slo_p99_tbt=slo.p99_tbt,

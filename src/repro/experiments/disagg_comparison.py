@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import Deployment, ServingConfig, clone_requests
-from repro.cluster.cluster import simulate_cluster
+from repro.cluster.fleet import FleetConfig, simulate_fleet
 from repro.disagg.engine import DisaggregatedEngine
 from repro.experiments.common import DEFAULT, Scale, mistral_deployment
 from repro.hardware.catalog import ETHERNET_100G, NVLINK
@@ -51,7 +51,9 @@ def run_disagg_comparison(
     points = []
 
     config = ServingConfig(scheduler=SchedulerKind.SARATHI, token_budget=token_budget)
-    _, sarathi_metrics = simulate_cluster(deployment, config, trace, num_replicas=2)
+    _, sarathi_metrics = simulate_fleet(
+        deployment, config, trace, FleetConfig(num_replicas=2)
+    )
     points.append(
         DisaggPoint(
             system="sarathi-2-replicas",

@@ -227,6 +227,12 @@ def _prefix(scale: Scale) -> Table:
     return (["chunk", "variant", "capacity qps", "hit rate", "COW", "gain"], rows)
 
 
+def _leaderboard(scale: Scale) -> Table:
+    from repro.experiments.leaderboard import leaderboard_table, run_leaderboard
+
+    return leaderboard_table(run_leaderboard(scale))
+
+
 def _table4(scale: Scale) -> Table:
     from repro.experiments.table4_ablation import run_ablation
 
@@ -261,6 +267,12 @@ REGISTRY: dict[str, FigureEntry] = {
             "prefix", "Prefix-cache capacity: hit rate × chunk × SLO", True, _prefix
         ),
         FigureEntry("fleet", "Fleet goodput: replicas × faults × load", True, _fleet),
+        FigureEntry(
+            "leaderboard",
+            "Scheduler leaderboard: every registered policy × workload suite",
+            True,
+            _leaderboard,
+        ),
     )
 }
 

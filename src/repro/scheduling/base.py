@@ -33,6 +33,15 @@ class Scheduler(abc.ABC):
 
     name: str = "abstract"
 
+    # Optional fleet-level admission hook (the plug-in protocol's second
+    # hook, see repro.scheduling.policy): a callable
+    # ``(snapshot: ReplicaSnapshot, request, now) -> bool`` consulted by
+    # the fleet router before delivering a request to this scheduler's
+    # replica; False defers the request into the router's backoff-retry
+    # loop.  None (the default for all built-in schedulers) admits
+    # unconditionally.
+    admission_hook = None
+
     def __init__(
         self,
         memory: MemoryManager,

@@ -15,12 +15,29 @@ class TestParser:
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.model == "mistral-7b"
-        assert args.scheduler == "sarathi"
+        assert args.scheduler is None  # resolved later: REPRO_SCHEDULER or sarathi
         assert args.qps == 1.0
 
-    def test_unknown_scheduler_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "--scheduler", "magic"])
+    def test_scheduler_resolution(self, monkeypatch):
+        from repro.cli import _scheduler_from
+
+        parse = build_parser().parse_args
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert _scheduler_from(parse(["simulate"])) == "sarathi"
+        # Any registry name is accepted, not just the enum kinds.
+        assert (
+            _scheduler_from(parse(["simulate", "--scheduler", "srpt_oracle"]))
+            == "srpt_oracle"
+        )
+        monkeypatch.setenv("REPRO_SCHEDULER", "vllm")
+        assert _scheduler_from(parse(["simulate"])) == "vllm"
+
+    def test_unknown_scheduler_rejected_with_suggestion(self):
+        from repro.cli import _scheduler_from
+
+        args = build_parser().parse_args(["simulate", "--scheduler", "sarathi_dyn"])
+        with pytest.raises(ValueError, match="did you mean"):
+            _scheduler_from(args)
 
     def test_perf_cache_flag_tristate(self):
         parse = build_parser().parse_args
@@ -36,6 +53,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Mistral-7B" in out
         assert "sarathi" in out
+
+    def test_schedulers_listing(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "srpt_oracle" in out
+        assert "object+vectorized" in out  # engine-support column
+        assert "reservation" in out        # memory-family column
 
     def test_budget(self, capsys):
         assert main(["budget", "--model", "tiny-1b"]) == 0

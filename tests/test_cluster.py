@@ -10,6 +10,30 @@ from repro.cluster.router import LeastTokensRouter, RoundRobinRouter, Router
 
 from tests.conftest import make_request
 
+# simulate_cluster is a deprecated shim over simulate_fleet; these
+# tests pin the shim's behavior, so silence the warning suite-wide and
+# assert it fires exactly once below.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:simulate_cluster is deprecated:DeprecationWarning"
+)
+
+
+class TestDeprecation:
+    def test_simulate_cluster_warns(self, tiny_deployment):
+        trace = [make_request(prompt_len=64, output_len=4)]
+        with pytest.warns(DeprecationWarning, match="simulate_cluster is deprecated"):
+            simulate_cluster(tiny_deployment, ServingConfig(), trace, num_replicas=1)
+
+    def test_not_reexported_from_top_level(self):
+        import repro
+
+        assert not hasattr(repro, "simulate_cluster")
+        assert "simulate_cluster" not in repro.__all__
+        # ...but still importable from the subpackage for old callers.
+        from repro.cluster import simulate_cluster as shim
+
+        assert shim is simulate_cluster
+
 
 class TestRouters:
     def test_invalid_replica_count(self):

@@ -28,6 +28,13 @@ from repro.types import PreemptionMode, SchedulerKind
 
 from tests.conftest import make_request
 
+# The static-partition golden tests exercise the deprecated
+# simulate_cluster shim on purpose; the warning itself is pinned in
+# tests/test_cluster.py.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:simulate_cluster is deprecated:DeprecationWarning"
+)
+
 
 def _trace(n=24, gap=0.02, prompt_len=1500, output_len=20):
     return [

@@ -7,6 +7,7 @@ for the fairness variant, and for the disaggregated engine.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,6 +15,7 @@ from repro.core.fairness import FairSarathiScheduler
 from repro.memory.block_manager import PagedBlockManager, ReservationManager
 from repro.scheduling.faster_transformer import FasterTransformerScheduler
 from repro.scheduling.orca import OrcaScheduler
+from repro.scheduling.registry import registered_names
 from repro.scheduling.vllm import VLLMScheduler
 from repro.types import Request
 
@@ -130,6 +132,37 @@ def test_vllm_swap_mode_random_workloads_complete(specs):
     assert not scheduler.swapped
     assert scheduler.num_swap_ins == scheduler.num_swap_outs
     assert scheduler.memory.free_blocks == scheduler.memory.num_blocks
+
+
+@pytest.mark.parametrize("name", registered_names())
+@given(specs=request_specs)
+@settings(max_examples=10, deadline=None)
+def test_every_registered_scheduler_conserves_tokens(name, specs):
+    """The conservation laws hold for *whatever* the registry holds.
+
+    Built through the real ``build_scheduler`` path (registry factory,
+    declared memory family, config plumbing), so plug-in policies are
+    held to the same contract as the paper's baselines.
+    """
+    from repro.api import Deployment, ServingConfig, build_scheduler
+    from repro.hardware.catalog import A100_80G
+    from repro.models.catalog import TINY_1B
+
+    deployment = Deployment(model=TINY_1B, gpu=A100_80G)
+    scheduler = build_scheduler(
+        deployment,
+        ServingConfig(scheduler=name, token_budget=256, reserve_len=1024),
+    )
+    requests = [
+        Request(prompt_len=p, output_len=o, client_id=c) for p, o, c in specs
+    ]
+    batches = drive(scheduler, requests)
+    check_conservation(requests)
+    # Total scheduled tokens account for every prompt and output token
+    # exactly once (recompute-free traces: no preemption inflation).
+    if scheduler.num_preemptions == 0:
+        total = sum(b.num_tokens for b in batches)
+        assert total == sum(r.prompt_len + r.output_len - 1 for r in requests)
 
 
 @given(specs=request_specs)
