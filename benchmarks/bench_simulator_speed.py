@@ -32,6 +32,19 @@ Cases:
   horizon, where the outputs must be bit-identical.
 * **vectorized_fleet_1e6** — the same comparison through the online
   fleet simulator: 10⁶ requests routed across 100 replicas.
+* **vectorized_pp_1e6** — the single-replica comparison on a 4-stage
+  pipeline-parallel deployment (TP1-PP4 over 100G Ethernet), where the
+  vectorized core replays the object engine's per-stage event
+  interleaving bit-for-bit.
+* **vectorized_dynamic_1e6** — the single-replica comparison under the
+  SLO-driven dynamic scheduler, whose per-iteration budget bisection
+  is the priciest scheduling path either engine has.
+* **surrogate_capacity_grid** — a Yi-34B capacity grid searched three
+  ways: warm-start-only baseline (surrogate off), then a cold
+  surrogate run that fills the store, then a warm rerun seeded by it
+  (uncached→baseline, cached→warm columns).  ``identical`` asserts
+  both that every capacity is bit-identical across all three runs and
+  that the warm store saves ≥30% of the simulation probes.
 * **prefix_cache_conversation** — KV prefix caching on a multi-round
   conversation workload.  The timed columns are a 100%-miss workload
   (unique prefix ids) with the cache off vs on — those two runs must
@@ -78,6 +91,7 @@ from repro.experiments.capacity_runner import (  # noqa: E402
     run_capacity_cells,
     serving_config_for,
 )
+from repro.parallel.config import ParallelConfig  # noqa: E402
 from repro.experiments.common import Scale, mistral_deployment  # noqa: E402
 from repro.experiments.fig09_hybrid_latency import run_hybrid_latency  # noqa: E402
 from repro.experiments.prefix_cache import (  # noqa: E402
@@ -86,9 +100,9 @@ from repro.experiments.prefix_cache import (  # noqa: E402
     conversation_spec_for,
     run_prefix_cache_capacity,
 )
-from repro.hardware.catalog import A100_80G  # noqa: E402
+from repro.hardware.catalog import A100_80G, ETHERNET_100G  # noqa: E402
 from repro.metrics.slo import derived_slo  # noqa: E402
-from repro.models.catalog import TINY_1B  # noqa: E402
+from repro.models.catalog import TINY_1B, YI_34B  # noqa: E402
 from repro.perf.cache import CachedExecutionModel  # noqa: E402
 from repro.reporting import (  # noqa: E402
     BenchCase,
@@ -371,6 +385,10 @@ VEC_FLEET_CAP_FRACTION = 0.5
 # at the full 10⁶-request horizon would run for the better part of an
 # hour; the capped prefix is identical work for both engines).
 VEC_CAP_FRACTION = 0.08
+# The dynamic scheduler's budget bisection makes the object engine's
+# per-iteration work several times pricier than plain sarathi, so its
+# equal-N comparison replays a shorter prefix of the horizon.
+VEC_DYNAMIC_CAP_FRACTION = 0.02
 
 _VEC_CONFIG = dict(
     scheduler=SchedulerKind.SARATHI, token_budget=512, max_batch_size=256
@@ -420,13 +438,21 @@ def _vec_identical(golden, candidate) -> bool:
     )
 
 
-def _timed_vectorized_replica(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+def _timed_vectorized_single(
+    name: str,
+    deployment: Deployment,
+    config_kwargs: dict,
+    quick: bool,
+    seed: int,
+    setup_label: str,
+    cap_fraction: float = VEC_CAP_FRACTION,
+) -> BenchCase:
     """10⁶-request single-replica trace, object vs vectorized core."""
     num_requests = VEC_QUICK_REQUESTS if quick else VEC_NUM_REQUESTS
     qps = 2_000.0
 
     def run(engine: str, max_time: float | None = None):
-        config = ServingConfig(engine=engine, **_VEC_CONFIG)
+        config = ServingConfig(engine=engine, **config_kwargs)
         built = build_engine(deployment, config)
         trace = _vec_trace(num_requests, seed, qps)
         start = time.perf_counter()
@@ -439,7 +465,7 @@ def _timed_vectorized_replica(deployment: Deployment, quick: bool, seed: int) ->
         vec_s, vec = vec_full_s, vec_full
         horizon = "full trace"
     else:
-        cap = VEC_CAP_FRACTION * vec_full.makespan
+        cap = cap_fraction * vec_full.makespan
         obj_s, obj = run("object", max_time=cap)
         vec_s, vec = run("vectorized", max_time=cap)
         finished = len(obj.finished_requests)
@@ -448,16 +474,75 @@ def _timed_vectorized_replica(deployment: Deployment, quick: bool, seed: int) ->
             f"(~{finished} of {num_requests} finished)"
         )
     return BenchCase(
-        name="vectorized_replica_1e6",
+        name=name,
         uncached_seconds=obj_s,
         cached_seconds=vec_s,
         identical=_vec_identical(obj, vec),
         detail=(
-            f"{deployment.label}, sarathi budget=512 batch=256, "
+            f"{deployment.label}, {setup_label}, "
             f"{num_requests} decode-heavy requests @ {qps:.0f} qps, seed={seed}; "
             f"{horizon}; vectorized full trace: {vec_full_s:.1f}s wall, "
             f"makespan {vec_full.makespan:.0f}s"
         ),
+    )
+
+
+def _timed_vectorized_replica(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+    return _timed_vectorized_single(
+        "vectorized_replica_1e6",
+        deployment,
+        _VEC_CONFIG,
+        quick,
+        seed,
+        "sarathi budget=512 batch=256",
+    )
+
+
+def _timed_vectorized_pp(quick: bool, seed: int) -> BenchCase:
+    """The single-replica comparison on a 4-stage pipeline.
+
+    Every request now produces per-stage events (4 stage completions
+    plus 3 inter-stage sends per batch hop), so this is the stress
+    test for the vectorized pipe heap's replay of the object engine's
+    event interleaving.
+    """
+    deployment = Deployment(
+        model=TINY_1B,
+        gpu=A100_80G,
+        parallel=ParallelConfig(pipeline_parallel=4, pp_link=ETHERNET_100G),
+    )
+    return _timed_vectorized_single(
+        "vectorized_pp_1e6",
+        deployment,
+        _VEC_CONFIG,
+        quick,
+        seed,
+        "sarathi budget=512 batch=256, pp=4 over 100G Ethernet",
+    )
+
+
+def _timed_vectorized_dynamic(deployment: Deployment, quick: bool, seed: int) -> BenchCase:
+    """The single-replica comparison under the dynamic scheduler.
+
+    The per-iteration budget bisection prices several candidate
+    batches per scheduling step on both engines; the object engine
+    pays it through Python object traversal, the vectorized engine
+    through memoized component pricing — so the cap fraction is
+    smaller to keep the object leg of the full harness around the
+    same wall-clock as the plain-sarathi case.
+    """
+    config = dict(
+        scheduler=SchedulerKind.SARATHI_DYNAMIC,
+        max_batch_size=_VEC_CONFIG["max_batch_size"],
+    )
+    return _timed_vectorized_single(
+        "vectorized_dynamic_1e6",
+        deployment,
+        config,
+        quick,
+        seed,
+        "sarathi_dynamic (derived strict TBT SLO) batch=256",
+        cap_fraction=VEC_DYNAMIC_CAP_FRACTION,
     )
 
 
@@ -511,6 +596,98 @@ def _timed_vectorized_fleet(deployment: Deployment, quick: bool, seed: int) -> B
             f"{num_requests} decode-heavy requests @ {qps:.0f} qps, seed={seed}; "
             f"{horizon}; vectorized full trace: {vec_full_s:.1f}s wall, "
             f"makespan {vec_full.makespan:.1f}s"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Surrogate-guided capacity search
+# ----------------------------------------------------------------------
+# Yi-34B/TP2 keeps capacities in the ~1 QPS range, so every probe
+# simulates a handful of requests and the measurement is about probe
+# counts, not execution-model pricing.  max_probes stays generous:
+# truncated searches are path-dependent and would break the
+# bit-identity the case asserts.
+SURROGATE_SCALE = Scale(num_requests=16, capacity_rel_tol=0.3, capacity_max_probes=20)
+SURROGATE_QUICK_SCALE = Scale(
+    num_requests=8, capacity_rel_tol=0.4, capacity_max_probes=20
+)
+SURROGATE_MIN_PROBE_SAVINGS = 0.30
+
+
+def _timed_surrogate_grid(quick: bool, seed: int) -> BenchCase:
+    """A capacity grid with the surrogate off, cold, and store-warm.
+
+    The warm rerun must return bit-identical capacities while spending
+    at least 30% fewer simulation probes than the warm-start-only
+    baseline; both requirements fold into ``identical`` so a
+    regression in either fails the harness.
+    """
+    deployment = Deployment(
+        model=YI_34B, gpu=A100_80G, parallel=ParallelConfig(tensor_parallel=2)
+    )
+    scale = replace(
+        SURROGATE_QUICK_SCALE if quick else SURROGATE_SCALE, seed=seed
+    )
+    # Strict-SLO cells only: relaxed cells land ~6x higher on the QPS
+    # ladder, and with the 60s load floor each of their probes offers
+    # qps x 60s of Yi-34B traffic — one relaxed cell would outweigh
+    # the rest of the harness.  Schedulers vary instead; they share a
+    # context row, which is also what the store's ratio transfer eats.
+    schedulers = (
+        (SchedulerKind.SARATHI, SchedulerKind.VLLM)
+        if quick
+        else (
+            SchedulerKind.SARATHI,
+            SchedulerKind.VLLM,
+            SchedulerKind.ORCA,
+            SchedulerKind.FASTER_TRANSFORMER,
+        )
+    )
+    specs = [
+        CapacityCellSpec(
+            deployment=deployment,
+            scheduler=scheduler,
+            dataset=SHAREGPT4,
+            scale=scale,
+            strict=True,
+        )
+        for scheduler in schedulers
+    ]
+
+    def caps(outcomes):
+        return [o.cell.capacity_qps for o in outcomes]
+
+    def probes(outcomes):
+        return sum(o.cell.num_probes for o in outcomes)
+
+    start = time.perf_counter()
+    baseline = run_capacity_cells(list(specs), surrogate=False)
+    base_s = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = run_capacity_cells(list(specs), cache_dir=cache_dir, surrogate=True)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_capacity_cells(list(specs), cache_dir=cache_dir, surrogate=True)
+        warm_s = time.perf_counter() - start
+    saved = 1 - probes(warm) / probes(baseline)
+    identical = (
+        caps(cold) == caps(baseline)
+        and caps(warm) == caps(baseline)
+        and saved >= SURROGATE_MIN_PROBE_SAVINGS
+    )
+    return BenchCase(
+        name="surrogate_capacity_grid",
+        uncached_seconds=base_s,
+        cached_seconds=warm_s,
+        identical=identical,
+        detail=(
+            f"{len(specs)} cells ({deployment.label}, {SHAREGPT4.name}), "
+            f"seed={scale.seed}; capacities bit-identical off/cold/warm; "
+            f"probes {probes(baseline)} -> {probes(warm)} "
+            f"({saved:.0%} saved, >={SURROGATE_MIN_PROBE_SAVINGS:.0%} required); "
+            f"cold surrogate run {cold_s:.1f}s"
         ),
     )
 
@@ -760,13 +937,20 @@ def main(argv: list[str] | None = None) -> int:
     vec_replica_case = _timed_vectorized_replica(vec_deployment, args.quick, args.seed)
     print("timing vectorized engine (100-replica fleet)…", flush=True)
     vec_fleet_case = _timed_vectorized_fleet(vec_deployment, args.quick, args.seed)
+    print("timing vectorized engine (4-stage pipeline)…", flush=True)
+    vec_pp_case = _timed_vectorized_pp(args.quick, args.seed)
+    print("timing vectorized engine (dynamic scheduler)…", flush=True)
+    vec_dynamic_case = _timed_vectorized_dynamic(vec_deployment, args.quick, args.seed)
+    print("timing surrogate-guided capacity grid…", flush=True)
+    surrogate_case = _timed_surrogate_grid(args.quick, args.seed)
     print("timing prefix-cache conversation capacity…", flush=True)
     prefix_case = _timed_prefix_cache_conversation(deployment, args.quick, args.seed)
     print("timing scheduler leaderboard (2-policy smoke)…", flush=True)
     leaderboard_case = _timed_leaderboard(deployment, args.quick, args.seed)
     cases = [
         sweep_case, hybrid_case, *grid_cases,
-        vec_replica_case, vec_fleet_case, prefix_case, leaderboard_case,
+        vec_replica_case, vec_fleet_case, vec_pp_case, vec_dynamic_case,
+        surrogate_case, prefix_case, leaderboard_case,
     ]
 
     print()

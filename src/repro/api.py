@@ -40,6 +40,7 @@ from repro.scheduling.registry import (
     VecSchedulerBuildContext,
     resolve,
     scheduler_name,
+    vectorized_names,
 )
 from repro.scheduling.vectorized import (
     VecPagedMemory,
@@ -251,20 +252,25 @@ def build_scheduler(
 
 
 def build_vectorized_scheduler(
-    deployment: Deployment, config: ServingConfig
+    deployment: Deployment,
+    config: ServingConfig,
+    exec_model: ExecutionModel | None = None,
 ) -> VecScheduler:
     """Construct the array-backed scheduler core (and its memory).
 
     Vectorized support is a registry capability: specs without a
-    vectorized factory (``sarathi_dynamic``, plug-in policies) fail
-    loudly here with the spec's stated reason.
+    vectorized factory (plug-in policies) fail loudly here with the
+    spec's stated reason plus the schedulers that do support it.
+    ``exec_model`` serves SLO-driven cores (``sarathi_dynamic``) that
+    price candidate iterations, sharing the engine's warm cache.
     """
     spec = resolve(config.scheduler)
     if spec.build_vectorized is None:
         raise ValueError(
             f"the vectorized engine does not support scheduler "
             f"{scheduler_name(config.scheduler)!r} "
-            f"({spec.vectorized_unsupported_reason}); use engine='object'"
+            f"({spec.vectorized_unsupported_reason}); use engine='object' "
+            f"or a vectorized-capable scheduler: {', '.join(vectorized_names())}"
         )
     arrays = RequestArrays()
     if spec.memory_family == "reservation":
@@ -288,6 +294,8 @@ def build_vectorized_scheduler(
         arrays=arrays,
         memory=memory,
         kv_bytes_per_token=deployment.model.kv_bytes_per_token,
+        _exec_model=exec_model,
+        _exec_model_factory=lambda: execution_model_for(deployment, config),
     )
     return spec.build_vectorized(context)
 
@@ -302,19 +310,16 @@ def build_engine(
     Passing ``exec_model`` overrides ``config.perf_cache`` — the caller
     owns the model (typically to share one warm cache across engines).
     ``config.engine`` selects the implementation; both produce
-    bit-identical results on the configurations the vectorized engine
-    supports (pp=1, non-dynamic schedulers).
+    bit-identical results on every configuration the vectorized engine
+    supports (including pipeline parallelism and ``sarathi_dynamic``).
     """
     if exec_model is None:
         exec_model = execution_model_for(deployment, config)
     if config.engine == "vectorized":
-        if deployment.parallel.pipeline_parallel != 1:
-            raise ValueError(
-                "engine='vectorized' supports single-stage (pp=1) deployments "
-                f"only, got pipeline_parallel={deployment.parallel.pipeline_parallel}"
-            )
         return VectorizedReplicaEngine(
-            exec_model, build_vectorized_scheduler(deployment, config)
+            exec_model,
+            build_vectorized_scheduler(deployment, config, exec_model=exec_model),
+            max_inflight_batches=config.max_inflight_batches,
         )
     return ReplicaEngine(
         exec_model,

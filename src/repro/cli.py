@@ -162,6 +162,15 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
         "'kill=0.2,hang=0.1,seed=1' (default off, or REPRO_CHAOS; "
         "needs --jobs >= 2)",
     )
+    parser.add_argument(
+        "--surrogate",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="seed capacity searches from previously measured cells "
+        "(persisted at CACHE_DIR/surrogate.json); saves probes without "
+        "changing any measured capacity (default off, or "
+        "REPRO_SURROGATE)",
+    )
 
 
 def _sweep_kwargs(args: argparse.Namespace) -> dict:
@@ -175,6 +184,7 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         "task_timeout": args.task_timeout,
         "max_retries": args.max_retries,
         "chaos": args.chaos,
+        "surrogate": args.surrogate,
     }
 
 

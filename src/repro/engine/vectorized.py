@@ -1,11 +1,11 @@
 """Array-backed replica engine: batched events, bit-identical results.
 
 ``VectorizedReplicaEngine`` replays exactly the discrete-event
-semantics of :class:`repro.engine.replica.ReplicaEngine` for pp=1
-deployments, but holds per-request state in numpy struct-of-arrays
-(:mod:`repro.engine.arrays`) and commits a whole iteration's token
-progress with a handful of vector operations instead of per-request
-object traffic.
+semantics of :class:`repro.engine.replica.ReplicaEngine` — including
+multi-stage pipeline parallelism — but holds per-request state in
+numpy struct-of-arrays (:mod:`repro.engine.arrays`) and commits a
+whole iteration's token progress with a handful of vector operations
+instead of per-request object traffic.
 
 The object engine stays the golden reference; this engine must match
 it float for float.  Three observations make that possible without a
@@ -16,7 +16,11 @@ per-token event heap:
   arrival array (a cursor), a tiny heap of follow-up arrivals, and the
   single pending batch-completion.  Replaying the object queue's
   ``(time, insertion seq)`` tie-break over those three reproduces its
-  pop order exactly.
+  pop order exactly.  Multi-stage pipelines add a fourth source, a
+  small heap of stage-done/stage-enqueue events whose seqs are
+  allocated in exactly the order the object engine pushes them, so
+  pipeline bubbles (stage idle waiting on its upstream send) fall out
+  of the same event replay rather than a separate bubble model.
 * Iteration pricing decomposes into per-component memo tables (linear
   by token counts, decode attention by context length, prefill
   attention by chunk shape, token-count terms) that are reassembled in
@@ -48,7 +52,7 @@ from repro.engine.replica import (
     TokenObserver,
 )
 from repro.metrics.timeline import IterationRecord
-from repro.parallel.comm import tp_comm_time
+from repro.parallel.comm import pp_send_time, tp_comm_time
 from repro.perf.iteration import ExecutionModel
 from repro.scheduling.vectorized import VecBatch, VecScheduler
 from repro.types import IterationTime, Request, TokenWork
@@ -59,11 +63,11 @@ __all__ = ["VectorizedReplicaEngine"]
 class VectorizedReplicaEngine:
     """Discrete-event simulation of one replica over flat arrays.
 
-    Drop-in for :class:`ReplicaEngine` on single-stage deployments:
-    same ``run``/stepped interface, same ``SimulationResult``, same
-    floats.  Construction is normally via
-    :func:`repro.api.build_engine` with ``ServingConfig.engine`` set to
-    ``"vectorized"``.
+    Drop-in for :class:`ReplicaEngine` on both single-stage and
+    pipeline-parallel deployments: same ``run``/stepped interface,
+    same ``SimulationResult``, same floats.  Construction is normally
+    via :func:`repro.api.build_engine` with ``ServingConfig.engine``
+    set to ``"vectorized"``.
     """
 
     kind = "vectorized"
@@ -74,30 +78,47 @@ class VectorizedReplicaEngine:
         exec_model: ExecutionModel,
         scheduler: VecScheduler,
         swap_bandwidth: float = DEFAULT_SWAP_BANDWIDTH,
+        max_inflight_batches: int | None = None,
     ) -> None:
         if swap_bandwidth <= 0:
             raise ValueError("swap_bandwidth must be positive")
-        if exec_model.parallel.pipeline_parallel != 1:
-            raise ValueError(
-                "the vectorized engine supports single-stage (pp=1) "
-                "deployments only; use the object engine for pipelines"
-            )
         self.exec_model = exec_model
         self.scheduler = scheduler
         self.arrays: RequestArrays = scheduler.A
         self.swap_bandwidth = swap_bandwidth
-        self.num_stages = 1
+        self.num_stages = exec_model.parallel.pipeline_parallel
+        self.max_inflight = (
+            max_inflight_batches
+            if max_inflight_batches is not None
+            else self.num_stages
+        )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight_batches must be >= 1")
         self.token_observer: TokenObserver | None = None
         self._followup_fn: FollowupFn | None = None
 
         # Event state: at most one batch in flight plus follow-up
         # arrivals; ``_seq`` continues the object queue's insertion
         # counter so (time, seq) ordering replays its tie-breaks.
+        # Pipelines (num_stages > 1) leave ``_busy`` unused and track
+        # per-stage execution through ``_pipe_heap`` instead, whose
+        # entries carry the same insertion seqs the object engine's
+        # EventQueue would allocate.
         self._busy: tuple[float, int, VecBatch] | None = None
         self._followup_heap: list[tuple[float, int, int]] = []
+        self._pipe_heap: list[tuple[float, int, int, int, VecBatch]] = []
+        self._stage_busy = [False] * self.num_stages
+        self._stage_queue: list[list[VecBatch]] = [
+            [] for _ in range(self.num_stages)
+        ]
+        self._inflight = 0
         self._seq = 0
         self._num_events = 0
         self._wall_time_s = 0.0
+        # Pipelined batches keep requests claimed across several stage
+        # iterations; the scheduler must exclude them from re-batching
+        # exactly like the object scheduler's in-flight set.
+        scheduler.track_in_flight = self.num_stages > 1
 
         # Emission log: (timestamp, rows emitted this iteration).
         self._emit_log: list[tuple[float, np.ndarray]] = []
@@ -106,6 +127,7 @@ class VectorizedReplicaEngine:
         self._eager_times: dict[int, list[float]] | None = None
 
         # Iteration records as parallel columns, materialized lazily.
+        self._rec_stage: list[int] = []
         self._rec_start: list[float] = []
         self._rec_end: list[float] = []
         self._rec_batch_id: list[int] = []
@@ -123,6 +145,8 @@ class VectorizedReplicaEngine:
         self._token_cache: dict[int, tuple[float, float]] = {}
         self._decode_attn = np.full(1024, np.nan)
         self._overhead = exec_model._fixed_overhead(True)
+        self._overhead_rest = exec_model._fixed_overhead(False)
+        self._send_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -156,11 +180,13 @@ class VectorizedReplicaEngine:
         self._seq = n
 
         heap = self._followup_heap
+        pipe = self._pipe_heap
         cursor = 0
         now = 0.0
         while True:
             # Next event = min over (arrival cursor, followup heap,
-            # in-flight batch) by (time, insertion seq).
+            # in-flight batch, pipeline stage heap) by (time,
+            # insertion seq).
             source = 0
             best_t = math.inf
             best_s = -1
@@ -176,6 +202,10 @@ class VectorizedReplicaEngine:
                 b_t, b_s, _ = self._busy
                 if b_t < best_t or (b_t == best_t and b_s < best_s):
                     best_t, best_s, source = b_t, b_s, 3
+            if pipe:
+                p_t, p_s = pipe[0][0], pipe[0][1]
+                if p_t < best_t or (p_t == best_t and p_s < best_s):
+                    best_t, best_s, source = p_t, p_s, 4
             if source == 0:
                 break
             if max_time is not None and best_t > max_time:
@@ -192,10 +222,16 @@ class VectorizedReplicaEngine:
                 _, _, row = heapq.heappop(heap)
                 core.add_row(row, now)
                 self._try_schedule(now)
-            else:
+            elif source == 3:
                 batch = self._busy[2]
                 self._busy = None
                 self._on_batch_done(batch, now)
+            else:
+                _, _, kind, stage_idx, batch = heapq.heappop(pipe)
+                if kind == 0:
+                    self._on_stage_done(stage_idx, batch, now)
+                else:
+                    self._on_stage_enqueue(stage_idx, batch, now)
 
         self._wall_time_s += time.perf_counter() - wall_start
         if max_time is None:
@@ -235,10 +271,16 @@ class VectorizedReplicaEngine:
             _, _, row = heapq.heappop(self._followup_heap)
             self.scheduler.add_row(row, now)
             self._try_schedule(now)
-        else:
+        elif source == 3:
             batch = self._busy[2]
             self._busy = None
             self._on_batch_done(batch, now)
+        else:
+            _, _, kind, stage_idx, batch = heapq.heappop(self._pipe_heap)
+            if kind == 0:
+                self._on_stage_done(stage_idx, batch, now)
+            else:
+                self._on_stage_enqueue(stage_idx, batch, now)
         return now
 
     def _next_internal(self) -> tuple[float, int, int] | None:
@@ -250,6 +292,10 @@ class VectorizedReplicaEngine:
             b_t, b_s, _ = self._busy
             if best is None or (b_t, b_s) < best[:2]:
                 best = (b_t, b_s, 3)
+        if self._pipe_heap:
+            p_t, p_s = self._pipe_heap[0][0], self._pipe_heap[0][1]
+            if best is None or (p_t, p_s) < best[:2]:
+                best = (p_t, p_s, 4)
         return best
 
     def pending_requests(self) -> list[Request]:
@@ -274,7 +320,7 @@ class VectorizedReplicaEngine:
         if start < len(self._rec_start):
             cache.extend(
                 IterationRecord(
-                    stage=0,
+                    stage=st,
                     start=s,
                     end=e,
                     batch_id=b,
@@ -284,7 +330,8 @@ class VectorizedReplicaEngine:
                     num_decode_seqs=ds,
                     breakdown=bd,
                 )
-                for s, e, b, pt, dt, ps, ds, bd in zip(
+                for st, s, e, b, pt, dt, ps, ds, bd in zip(
+                    self._rec_stage[start:],
                     self._rec_start[start:],
                     self._rec_end[start:],
                     self._rec_batch_id[start:],
@@ -320,7 +367,7 @@ class VectorizedReplicaEngine:
             requests=list(A.requests),
             records=self.records,
             makespan=makespan,
-            num_stages=1,
+            num_stages=self.num_stages,
             num_preemptions=self.scheduler.num_preemptions,
             unfinished=[A.requests[row] for row in unfinished_rows],
             cache_stats=getattr(self.exec_model, "cache_stats", None),
@@ -332,16 +379,52 @@ class VectorizedReplicaEngine:
     # Event handlers
     # ------------------------------------------------------------------
     def _try_schedule(self, now: float) -> None:
-        if self._busy is not None:
+        if self.num_stages == 1:
+            if self._busy is not None:
+                return
+            batch = self.scheduler.schedule(now)
+            if batch is None:
+                return
+            breakdown = self._price(batch)
+            if batch.swap_bytes:
+                swap_time = batch.swap_bytes / self.swap_bandwidth
+                breakdown = breakdown + IterationTime(
+                    0.0, 0.0, 0.0, swap_time, 0.0
+                )
+            end = now + breakdown.total
+            self._rec_stage.append(0)
+            self._rec_start.append(now)
+            self._rec_end.append(end)
+            self._rec_batch_id.append(batch.batch_id)
+            self._rec_np_tok.append(batch.num_prefill_tokens)
+            self._rec_nd_tok.append(batch.num_decode_tokens)
+            self._rec_np_seq.append(batch.num_prefill_seqs)
+            self._rec_nd_seq.append(batch.num_decode_seqs)
+            self._rec_breakdown.append(breakdown)
+            seq = self._seq
+            self._seq = seq + 1
+            self._busy = (end, seq, batch)
             return
-        batch = self.scheduler.schedule(now)
-        if batch is None:
-            return
-        breakdown = self._price(batch)
-        if batch.swap_bytes:
+        while not self._stage_busy[0] and self._inflight < self.max_inflight:
+            batch = self.scheduler.schedule(now)
+            if batch is None:
+                return
+            self._inflight += 1
+            self._start_stage(0, batch, now)
+
+    # ------------------------------------------------------------------
+    # Pipeline stage machinery (num_stages > 1 only)
+    # ------------------------------------------------------------------
+    def _start_stage(self, stage_idx: int, batch: VecBatch, now: float) -> None:
+        self._stage_busy[stage_idx] = True
+        breakdown = self._price(
+            batch, stage_idx == 0, stage_idx == self.num_stages - 1
+        )
+        if stage_idx == 0 and batch.swap_bytes:
             swap_time = batch.swap_bytes / self.swap_bandwidth
             breakdown = breakdown + IterationTime(0.0, 0.0, 0.0, swap_time, 0.0)
         end = now + breakdown.total
+        self._rec_stage.append(stage_idx)
         self._rec_start.append(now)
         self._rec_end.append(end)
         self._rec_batch_id.append(batch.batch_id)
@@ -350,11 +433,44 @@ class VectorizedReplicaEngine:
         self._rec_np_seq.append(batch.num_prefill_seqs)
         self._rec_nd_seq.append(batch.num_decode_seqs)
         self._rec_breakdown.append(breakdown)
-        seq = self._seq
-        self._seq = seq + 1
-        self._busy = (end, seq, batch)
+        heapq.heappush(self._pipe_heap, (end, self._seq, 0, stage_idx, batch))
+        self._seq += 1
+
+    def _on_stage_done(self, stage_idx: int, batch: VecBatch, now: float) -> None:
+        self._stage_busy[stage_idx] = False
+        if stage_idx < self.num_stages - 1:
+            num_tokens = batch.num_tokens
+            send = self._send_cache.get(num_tokens)
+            if send is None:
+                send = pp_send_time(
+                    self.exec_model.model, self.exec_model.parallel, num_tokens
+                )
+                self._send_cache[num_tokens] = send
+            heapq.heappush(
+                self._pipe_heap, (now + send, self._seq, 1, stage_idx + 1, batch)
+            )
+            self._seq += 1
+        else:
+            self._inflight -= 1
+            self._commit_batch(batch, now)
+        queue = self._stage_queue[stage_idx]
+        if queue:
+            self._start_stage(stage_idx, queue.pop(0), now)
+        self._try_schedule(now)
+
+    def _on_stage_enqueue(
+        self, stage_idx: int, batch: VecBatch, now: float
+    ) -> None:
+        if self._stage_busy[stage_idx]:
+            self._stage_queue[stage_idx].append(batch)
+        else:
+            self._start_stage(stage_idx, batch, now)
 
     def _on_batch_done(self, batch: VecBatch, now: float) -> None:
+        self._commit_batch(batch, now)
+        self._try_schedule(now)
+
+    def _commit_batch(self, batch: VecBatch, now: float) -> None:
         A = self.arrays
         core = self.scheduler
         finished, prefill_emits = core.on_batch_complete(batch, now)
@@ -397,14 +513,15 @@ class VectorizedReplicaEngine:
                         (followup.arrival_time, self._seq, new_row),
                     )
                     self._seq += 1
-        self._try_schedule(now)
 
     # ------------------------------------------------------------------
     # Pricing (memoized components, object-identical assembly)
     # ------------------------------------------------------------------
-    def _price(self, batch: VecBatch) -> IterationTime:
+    def _price(
+        self, batch: VecBatch, is_first: bool = True, is_last: bool = True
+    ) -> IterationTime:
         num_tokens = batch.num_tokens
-        key = (num_tokens, batch.num_logit_tokens)
+        key = (num_tokens, batch.num_logit_tokens if is_last else 0)
         linear = self._linear_cache.get(key)
         if linear is None:
             linear = self.exec_model.linear.stage_time(num_tokens, key[1])
@@ -437,7 +554,11 @@ class VectorizedReplicaEngine:
             )
             self._token_cache[num_tokens] = token_terms
         return IterationTime(
-            linear, attention, token_terms[0], token_terms[1], self._overhead
+            linear,
+            attention,
+            token_terms[0],
+            token_terms[1],
+            self._overhead if is_first else self._overhead_rest,
         )
 
     def _decode_attention(self, ctx: np.ndarray) -> list[float]:

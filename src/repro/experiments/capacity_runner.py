@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any
 
 from repro.api import Deployment, ServingConfig, execution_model_for, simulate
@@ -35,7 +36,14 @@ from repro.experiments.common import (
 from repro.metrics.capacity import CapacityResult, find_capacity
 from repro.metrics.slo import SLOSpec, derived_slo
 from repro.perf.cache import CachedExecutionModel
-from repro.runtime import map_tasks, persist_execution_model, shared_execution_model
+from repro.perf.surrogate import SurrogateStore
+from repro.runtime import (
+    cache_dir_from_env,
+    map_tasks,
+    persist_execution_model,
+    shared_execution_model,
+    surrogate_from_env,
+)
 from repro.scheduling.registry import scheduler_name
 from repro.telemetry.sweep import capacity_probe_rows
 from repro.types import SchedulerKind
@@ -220,6 +228,38 @@ class CapacityCellSpec:
         return (self.deployment.label, self.dataset.name)
 
 
+def cell_features(spec: CapacityCellSpec) -> dict[str, Any]:
+    """The surrogate fingerprint of one cell (:mod:`repro.perf.surrogate`).
+
+    Everything that determines a cell's capacity, flattened to scalars:
+    the same spec always maps to the same features, so a rerun hits the
+    store's exact-replay tier, while grids over schedulers/SLOs share
+    observations through the ratio-transfer tier.
+    """
+    deployment = spec.deployment
+    config = spec.config
+    if config is None:
+        config = serving_config_for(deployment, spec.scheduler, spec.strict)
+    slo = spec.slo
+    if slo is None:
+        slo = derived_slo(deployment.execution_model(), spec.strict)
+    return {
+        "model": deployment.model.name,
+        "gpu": deployment.gpu.name,
+        "tp": deployment.parallel.tensor_parallel,
+        "pp": deployment.parallel.pipeline_parallel,
+        "scheduler": scheduler_name(spec.scheduler),
+        "token_budget": config.token_budget,
+        "max_batch_size": config.max_batch_size,
+        "dataset": spec.dataset.name,
+        "slo": slo.name,
+        "p99_tbt": slo.p99_tbt,
+        "num_requests": spec.scale.num_requests,
+        "seed": spec.scale.seed,
+        "rel_tol": spec.scale.capacity_rel_tol,
+    }
+
+
 @dataclass(frozen=True)
 class CellOutcome:
     """One executed grid cell: its figure row plus telemetry."""
@@ -367,6 +407,8 @@ def run_capacity_cells(
     chaos=None,
     strict: bool = True,
     reports: list | None = None,
+    surrogate: bool | None = None,
+    surrogate_store: SurrogateStore | None = None,
 ) -> list[CellOutcome]:
     """Run a capacity grid through the sweep engine, warm-started.
 
@@ -375,6 +417,18 @@ def run_capacity_cells(
     anchor's measured capacity (falling back to the spec's static hint
     when the anchor found no capacity).  Outcomes come back in the
     order of ``specs`` regardless of ``jobs``.
+
+    With ``surrogate`` (default: ``REPRO_SURROGATE``), a
+    :class:`~repro.perf.surrogate.SurrogateStore` — persisted at
+    ``cache_dir/surrogate.json`` when a cache directory is given, else
+    in-memory — predicts starting brackets from previously measured
+    cells.  Predictions seed anchors before wave 0 and take precedence
+    over anchor hints for followers; because every ``find_capacity``
+    probe lands on the same global QPS ladder, the seeds change probe
+    counts only, never the measured capacities.  New observations are
+    recorded and persisted once the grid completes (never after an
+    interrupt, so a resumed run re-predicts from the same store state
+    and re-derives identical follower specs).
 
     With ``run_dir``, each wave journals to its own fingerprint-keyed
     ledger and ``resume=True`` replays completed cells bit-identically:
@@ -400,8 +454,36 @@ def run_capacity_cells(
         strict=strict,
     )
 
-    # Wave 0: anchors, with their static hints.
-    report = map_tasks(run_capacity_cell, [spec for _, spec in anchors], **options)
+    if surrogate is None:
+        surrogate = surrogate_from_env()
+    store: SurrogateStore | None = None
+    features: list[dict[str, Any]] = []
+    if surrogate:
+        store = surrogate_store
+        if store is None:
+            store_dir = Path(cache_dir) if cache_dir is not None else cache_dir_from_env()
+            store = SurrogateStore(
+                store_dir / "surrogate.json" if store_dir is not None else None
+            )
+        features = [cell_features(spec) for spec in specs]
+
+    def predicted_hint(index: int) -> float | None:
+        if store is None:
+            return None
+        guess = store.predict(features[index])
+        if guess is None or guess <= MIN_WARM_HINT:
+            return None
+        return guess
+
+    # Wave 0: anchors, surrogate-seeded when possible, else their
+    # static hints.
+    anchor_specs = []
+    for index, spec in anchors:
+        guess = predicted_hint(index)
+        if guess is not None:
+            spec = replace(spec, qps_hint=guess, hinted=True)
+        anchor_specs.append(spec)
+    report = map_tasks(run_capacity_cell, anchor_specs, **options)
     if reports is not None:
         reports.append(report)
     _collect_cells(report, [index for index, _ in anchors], outcomes)
@@ -411,14 +493,18 @@ def run_capacity_cells(
         if outcome is not None and outcome.cell.capacity_qps > MIN_WARM_HINT:
             hint_by_group[spec.group_key] = outcome.cell.capacity_qps
 
-    # Wave 1: everything else, hinted by its group's anchor.  Skipped
-    # after an interrupt: the anchors' ledger already holds wave 0, and
-    # the resumed run will re-derive identical hints from it.
+    # Wave 1: everything else, hinted by the surrogate when it knows
+    # the cell (exact replays beat cross-scheduler anchor transfer),
+    # else by its group's anchor.  Skipped after an interrupt: the
+    # anchors' ledger already holds wave 0, and the resumed run will
+    # re-derive identical hints from it.
     if followers and not report.interrupted:
         hinted_specs = []
         for index in followers:
             spec = specs[index]
-            hint = hint_by_group.get(spec.group_key)
+            hint = predicted_hint(index)
+            if hint is None:
+                hint = hint_by_group.get(spec.group_key)
             if hint is not None:
                 spec = replace(spec, qps_hint=hint, hinted=True)
             hinted_specs.append(spec)
@@ -426,5 +512,14 @@ def run_capacity_cells(
         if reports is not None:
             reports.append(report)
         _collect_cells(report, followers, outcomes)
+
+    # Feed the surrogate only from a completed grid: predictions above
+    # were made against the store as loaded, so an interrupted run that
+    # resumes sees the same store state and rebuilds identical waves.
+    if store is not None and not report.interrupted:
+        for index, outcome in enumerate(outcomes):
+            if outcome is not None:
+                store.observe(features[index], outcome.cell.capacity_qps)
+        store.save()
 
     return [outcome for outcome in outcomes if outcome is not None]

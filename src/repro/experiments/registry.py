@@ -291,14 +291,16 @@ def reproduce_figure(
     task_timeout: float | None = None,
     max_retries: int | None = None,
     chaos: str | None = None,
+    surrogate: bool | None = None,
 ) -> str:
     """Run one figure's experiment and render its table.
 
     The sweep knobs (``jobs``, ``cache_dir``, the ``run_dir``/``resume``
-    ledger pair, ``task_timeout``/``max_retries`` supervision limits and
-    the ``chaos`` spec) reach the figure's sweep through the ``REPRO_*``
-    environment (runners pick them up via the sweep engine's defaults),
-    so every registry entry keeps its plain ``run(scale)`` signature.
+    ledger pair, ``task_timeout``/``max_retries`` supervision limits,
+    the ``chaos`` spec and the ``surrogate`` capacity-seeding switch)
+    reach the figure's sweep through the ``REPRO_*`` environment
+    (runners pick them up via the sweep engine's defaults), so every
+    registry entry keeps its plain ``run(scale)`` signature.
     """
     key = figure_id.lower()
     if key not in REGISTRY:
@@ -313,6 +315,7 @@ def reproduce_figure(
         task_timeout=task_timeout,
         max_retries=max_retries,
         chaos=chaos,
+        surrogate=surrogate,
     ):
         headers, rows = entry.run(scale)
     return f"{entry.figure_id} — {entry.title}\n\n" + format_table(headers, rows)

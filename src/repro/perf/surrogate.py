@@ -1,0 +1,176 @@
+"""Surrogate capacity predictor: probe savings from past simulations.
+
+Capacity grids re-measure closely related cells over and over — the
+same deployment under two SLOs, five schedulers on one dataset, a
+rerun of yesterday's grid at a new scale.  Every finished cell is a
+(configuration → capacity) observation, and those observations are
+cheap to keep.  :class:`SurrogateStore` keeps them (as JSON next to
+the perf cache) and turns them into starting-rung predictions for
+:func:`repro.metrics.capacity.find_capacity`.
+
+The predictor is deliberately tiny — no fitted coefficients, no
+training loop — because the capacity ladder makes accuracy optional:
+``find_capacity`` lands every probe on the same global QPS grid no
+matter where it starts, so a surrogate prediction can only change *how
+many* probes the search needs, never which rung it converges to.  The
+winning bracket is always verified by full simulation.  That contract
+("the surrogate saves probes, never decides") means a wrong prediction
+costs a few extra bracketing probes and nothing else.
+
+Two prediction tiers, tried in order:
+
+1. **Exact replay** — the store has this exact cell fingerprint.  The
+   previous capacity seeds the walk, which confirms the boundary in
+   two or three probes.
+2. **Ratio transfer** — the cell is new, but its *context* (model,
+   GPU, parallelism, dataset, scale) has been measured under other
+   *variants* (scheduler, SLO, token budget), and the target variant
+   has been measured in other contexts.  Capacity ratios between
+   variants are roughly stable across contexts (a relaxed SLO buys a
+   similar multiple on an A100 as on an H100), so the geometric mean
+   of ``cap(ctx, v_other) * cap(ctx', v_target) / cap(ctx', v_other)``
+   over every such bridge is a serviceable guess.
+
+Both tiers iterate the store in sorted key order, so predictions are a
+deterministic function of the store's contents.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "VARIANT_KEYS",
+    "SurrogateStore",
+    "split_features",
+]
+
+# Feature keys that name the *variant* of a cell; everything else in a
+# feature dict is its *context*.  Ratio transfer holds variants fixed
+# across contexts and vice versa.
+VARIANT_KEYS = ("scheduler", "slo", "token_budget")
+
+_STORE_VERSION = 1
+
+
+def _canonical(features: Mapping[str, Any]) -> str:
+    """A stable string key for a feature dict (sorted, JSON-encoded)."""
+    return json.dumps(dict(features), sort_keys=True, separators=(",", ":"))
+
+
+def split_features(
+    features: Mapping[str, Any],
+) -> tuple[str, str]:
+    """Split a feature dict into canonical (context, variant) keys."""
+    context = {k: v for k, v in features.items() if k not in VARIANT_KEYS}
+    variant = {k: features[k] for k in VARIANT_KEYS if k in features}
+    return _canonical(context), _canonical(variant)
+
+
+class SurrogateStore:
+    """Persistent map from cell features to measured capacities.
+
+    ``path=None`` keeps the store in memory only (useful for tests and
+    single-process grids without a cache directory).  Loading tolerates
+    a missing or corrupt file — a surrogate store is an accelerator,
+    never a correctness dependency — and :meth:`save` writes through a
+    temp file + :func:`os.replace` so a crash cannot leave a truncated
+    store behind.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        # canonical feature key -> (features, capacity)
+        self._entries: dict[str, tuple[dict[str, Any], float]] = {}
+        self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text())
+            entries = payload["entries"]
+            for row in entries:
+                features = row["features"]
+                capacity = float(row["capacity_qps"])
+                self._entries[_canonical(features)] = (dict(features), capacity)
+        except (OSError, ValueError, KeyError, TypeError):
+            # A damaged store predicts nothing; observations rebuild it.
+            self._entries = {}
+
+    def observe(self, features: Mapping[str, Any], capacity_qps: float) -> None:
+        """Record one measured cell (overwrites a prior observation)."""
+        if capacity_qps < 0:
+            raise ValueError(f"capacity_qps must be >= 0, got {capacity_qps}")
+        self._entries[_canonical(features)] = (dict(features), float(capacity_qps))
+
+    def save(self) -> None:
+        """Persist atomically (no-op for a memory-only store)."""
+        if self.path is None:
+            return
+        payload = {
+            "version": _STORE_VERSION,
+            "entries": [
+                {"features": features, "capacity_qps": capacity}
+                for _, (features, capacity) in sorted(self._entries.items())
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def predict(self, features: Mapping[str, Any]) -> float | None:
+        """Predicted capacity for ``features``, or None when clueless.
+
+        Never returns a non-positive value: a cell remembered at zero
+        capacity carries no useful starting rung (the search's own
+        floor handles it), so it predicts None like an unseen cell.
+        """
+        exact = self._entries.get(_canonical(features))
+        if exact is not None:
+            return exact[1] if exact[1] > 0 else None
+        return self._ratio_transfer(features)
+
+    def _ratio_transfer(self, features: Mapping[str, Any]) -> float | None:
+        ctx_t, var_t = split_features(features)
+        # capacities indexed by context then variant, positive only.
+        table: dict[str, dict[str, float]] = {}
+        for entry_features, capacity in self._entries.values():
+            if capacity <= 0:
+                continue
+            ctx, var = split_features(entry_features)
+            table.setdefault(ctx, {})[var] = capacity
+        row_t = table.get(ctx_t)
+        if not row_t:
+            return None
+        log_estimates: list[float] = []
+        for ctx_o in sorted(table):
+            if ctx_o == ctx_t:
+                continue
+            row_o = table[ctx_o]
+            cap_vt = row_o.get(var_t)
+            if cap_vt is None:
+                continue
+            for var_o in sorted(row_o):
+                if var_o == var_t:
+                    continue
+                base = row_t.get(var_o)
+                if base is None:
+                    continue
+                # bridge: cap(ctx_t, var_o) scaled by var_o -> var_t
+                # ratio observed in ctx_o.
+                log_estimates.append(
+                    math.log(base) + math.log(cap_vt) - math.log(row_o[var_o])
+                )
+        if not log_estimates:
+            return None
+        prediction = math.exp(sum(log_estimates) / len(log_estimates))
+        return prediction if prediction > 0 else None

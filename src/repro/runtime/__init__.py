@@ -16,6 +16,7 @@ from repro.runtime.engine import (
     MAX_RETRIES_ENV,
     RESUME_ENV,
     RUN_DIR_ENV,
+    SURROGATE_ENV,
     TASK_TIMEOUT_ENV,
     ModelLease,
     SweepReport,
@@ -29,6 +30,7 @@ from repro.runtime.engine import (
     resume_from_env,
     run_dir_from_env,
     shared_execution_model,
+    surrogate_from_env,
     sweep_env,
     task_timeout_from_env,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "RESUME_ENV",
     "TASK_TIMEOUT_ENV",
     "MAX_RETRIES_ENV",
+    "SURROGATE_ENV",
     "CHAOS_ENV",
     "ChaosConfig",
     "ModelLease",
@@ -77,6 +80,7 @@ __all__ = [
     "run_dir_from_env",
     "run_supervised",
     "shared_execution_model",
+    "surrogate_from_env",
     "sweep_env",
     "sweep_fingerprint",
     "task_timeout_from_env",

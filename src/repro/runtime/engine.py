@@ -73,6 +73,7 @@ RUN_DIR_ENV = "REPRO_RUN_DIR"
 RESUME_ENV = "REPRO_RESUME"
 TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+SURROGATE_ENV = "REPRO_SURROGATE"
 
 DEFAULT_MAX_RETRIES = 2
 
@@ -141,6 +142,13 @@ def max_retries_from_env(default: int = DEFAULT_MAX_RETRIES) -> int:
     return retries
 
 
+def surrogate_from_env() -> bool:
+    """Whether ``REPRO_SURROGATE`` asks for surrogate-seeded capacity
+    searches (:mod:`repro.perf.surrogate`)."""
+    value = os.environ.get(SURROGATE_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
 @contextmanager
 def sweep_env(
     jobs: int | None = None,
@@ -150,6 +158,7 @@ def sweep_env(
     task_timeout: float | None = None,
     max_retries: int | None = None,
     chaos: str | ChaosConfig | None = None,
+    surrogate: bool | None = None,
 ):
     """Temporarily pin the sweep knobs in the environment.
 
@@ -166,6 +175,7 @@ def sweep_env(
         RESUME_ENV: ("1" if resume else "0") if resume is not None else None,
         TASK_TIMEOUT_ENV: str(task_timeout) if task_timeout is not None else None,
         MAX_RETRIES_ENV: str(max_retries) if max_retries is not None else None,
+        SURROGATE_ENV: ("1" if surrogate else "0") if surrogate is not None else None,
         CHAOS_ENV: (
             None if chaos is None
             else chaos if isinstance(chaos, str)

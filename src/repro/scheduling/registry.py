@@ -4,8 +4,8 @@ The construction surface for every scheduler in the library.  A
 :class:`SchedulerSpec` bundles a canonical name with an object-engine
 factory, an *optional* vectorized-engine factory (a capability flag:
 specs without one fail loudly when the vectorized engine is requested,
-exactly like ``sarathi_dynamic`` always has), and the memory family the
-policy needs.  ``repro.api.build_scheduler`` / ``build_vectorized_scheduler``
+naming the schedulers that *are* vectorized-capable), and the memory
+family the policy needs.  ``repro.api.build_scheduler`` / ``build_vectorized_scheduler``
 dispatch through :func:`resolve`; the legacy :class:`~repro.types.SchedulerKind`
 enum survives as a thin compatibility shim whose values are registry
 names.
@@ -94,7 +94,9 @@ class VecSchedulerBuildContext:
 
     ``arrays`` is the struct-of-arrays request store shared by the
     scheduler and its row-indexed memory manager (pre-built to the
-    spec's declared family).
+    spec's declared family).  ``execution_model()`` is lazy, exactly
+    like the object context's: only SLO-driven cores that price
+    candidate iterations (``sarathi_dynamic``) should call it.
     """
 
     deployment: "Deployment"
@@ -102,6 +104,18 @@ class VecSchedulerBuildContext:
     arrays: "RequestArrays"
     memory: Any
     kv_bytes_per_token: int
+    _exec_model: "ExecutionModel | None" = None
+    _exec_model_factory: Callable[[], "ExecutionModel"] | None = None
+
+    def execution_model(self) -> "ExecutionModel":
+        """The deployment's (possibly cached) execution model, memoized."""
+        if self._exec_model is None:
+            if self._exec_model_factory is None:
+                raise RuntimeError(
+                    "no execution model available in this build context"
+                )
+            self._exec_model = self._exec_model_factory()
+        return self._exec_model
 
 
 @dataclass(frozen=True)
@@ -192,6 +206,11 @@ def resolve(scheduler: "SchedulerKind | str") -> SchedulerSpec:
 def registered_names() -> list[str]:
     """Canonical scheduler names, in registration order (built-ins first)."""
     return list(_REGISTRY)
+
+
+def vectorized_names() -> list[str]:
+    """Names of schedulers with a vectorized factory, registration order."""
+    return [name for name, spec in _REGISTRY.items() if spec.supports_vectorized]
 
 
 def list_specs() -> list[SchedulerSpec]:
@@ -345,6 +364,23 @@ def _build_sarathi_dynamic(ctx: SchedulerBuildContext):
     )
 
 
+def _build_vec_sarathi_dynamic(ctx: VecSchedulerBuildContext):
+    from repro.perf.profiler import derive_slo
+    from repro.scheduling.vectorized import VecDynamicSarathiScheduler
+
+    exec_model = ctx.execution_model()
+    slo = ctx.config.tbt_slo
+    if slo is None:
+        slo = derive_slo(exec_model, strict=True)
+    return VecDynamicSarathiScheduler(
+        ctx.arrays,
+        ctx.memory,
+        exec_model=exec_model,
+        tbt_slo=slo,
+        max_batch_size=ctx.config.max_batch_size,
+    )
+
+
 def _build_chunked_only(ctx: SchedulerBuildContext):
     from repro.scheduling.ablations import ChunkedPrefillsOnlyScheduler
 
@@ -426,9 +462,7 @@ def _register_builtins() -> None:
     register(SchedulerSpec(
         name=SchedulerKind.SARATHI_DYNAMIC.value,
         build=_build_sarathi_dynamic,
-        vectorized_unsupported_reason=(
-            "dynamic budget control needs per-candidate iteration pricing"
-        ),
+        build_vectorized=_build_vec_sarathi_dynamic,
         description="Sarathi with an SLO-driven per-iteration token "
         "budget priced on the execution model (§5.1).",
     ))

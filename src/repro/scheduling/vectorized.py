@@ -34,13 +34,15 @@ from repro.engine.arrays import (
     RequestArrays,
 )
 from repro.memory.prefix import PrefixCacheStats, SharedPrefixStore
-from repro.types import PreemptionMode
+from repro.parallel.comm import pp_send_time, tp_comm_time
+from repro.types import IterationTime, PreemptionMode, TokenWork
 
 __all__ = [
     "VecBatch",
     "VecPagedMemory",
     "VecReservationMemory",
     "VecSarathiScheduler",
+    "VecDynamicSarathiScheduler",
     "VecVLLMScheduler",
     "VecOrcaScheduler",
     "VecFasterTransformerScheduler",
@@ -459,10 +461,13 @@ class VecReservationMemory:
 class VecScheduler:
     """Shared pools, counters and preemption machinery (rows edition).
 
-    Mirrors :class:`repro.scheduling.base.Scheduler` for the pp=1
-    single-stage engine.  Because at most one batch is ever in flight
-    there, the in-flight set is empty whenever ``_build_batch`` runs
-    and is dropped from the port.
+    Mirrors :class:`repro.scheduling.base.Scheduler`.  On single-stage
+    (pp=1) engines at most one batch is ever in flight, so the
+    in-flight set is empty whenever ``_build_batch`` runs and tracking
+    it would be pure overhead; the engine flips ``track_in_flight`` on
+    for pipelined deployments, where requests stay claimed across
+    several stage iterations and must be excluded from re-batching
+    exactly like the object scheduler's ``_in_flight`` set.
     """
 
     name = "abstract"
@@ -490,6 +495,10 @@ class VecScheduler:
         self._running_set: set[int] = set()
         self.swapped: list[int] = []
         self._claimed: set[int] = set()
+        # Rows scheduled into a batch that has not completed yet; only
+        # populated when the engine sets ``track_in_flight`` (pp > 1).
+        self._in_flight: set[int] = set()
+        self.track_in_flight = False
         self._pending_swap_bytes = 0
         self.num_scheduled_batches = 0
         self.num_preemptions = 0
@@ -555,6 +564,11 @@ class VecScheduler:
         # Decode rows need no transitions: a decoding request was
         # scheduled before (first_scheduled_at set) and left QUEUED at
         # its first prefill (or at swap-in).
+        if self.track_in_flight:
+            in_flight = self._in_flight
+            in_flight.update(batch.decode_rows.tolist())
+            in_flight.update(batch.p_rows)
+            self._run_version += 1
         self.num_scheduled_batches += 1
         return batch
 
@@ -568,6 +582,10 @@ class VecScheduler:
         emitted the request's first token this iteration.
         """
         A = self.A
+        if self._in_flight:
+            self._in_flight.difference_update(batch.decode_rows.tolist())
+            self._in_flight.difference_update(batch.p_rows)
+            self._run_version += 1
         finished: list[int] = []
         prefill_emits: list[int] = []
         rows = batch.decode_rows
@@ -640,6 +658,17 @@ class VecScheduler:
             self._running_set.remove(row)
             self._run_version += 1
 
+    def _schedulable_rows(self) -> list[int]:
+        """Running rows not claimed by an in-flight batch, running order.
+
+        Port of ``Scheduler._schedulable_running``; with tracking off
+        (pp=1) the in-flight set is empty and this is just ``running``.
+        """
+        in_flight = self._in_flight
+        if not in_flight:
+            return self.running
+        return [r for r in self.running if r not in in_flight]
+
     # -- shared policy helpers (exact ports) ---------------------------
     def _admit_waiting_head(self) -> int | None:
         if not self.waiting:
@@ -679,12 +708,15 @@ class VecScheduler:
     def _pick_preemption_victim(self, protect: int) -> int | None:
         # max() over candidates in running order: the *first* row with
         # the strictly greatest arrival time wins, like the object code.
+        # In-flight rows are never victims (their KV is in use by a
+        # pipelined batch); the set is empty at pp=1.
         arrival = self.A.arrival_time
         claimed = self._claimed
+        in_flight = self._in_flight
         best: int | None = None
         best_time = -math.inf
         for row in self.running:
-            if row == protect or row in claimed:
+            if row == protect or row in claimed or row in in_flight:
                 continue
             t = arrival[row]
             if t > best_time:
@@ -752,7 +784,12 @@ class VecScheduler:
 
     @property
     def has_work(self) -> bool:
-        return bool(self.waiting) or bool(self.swapped) or bool(self.running)
+        if self.waiting or self.swapped:
+            return True
+        if not self._in_flight:
+            return bool(self.running)
+        in_flight = self._in_flight
+        return any(r not in in_flight for r in self.running)
 
 
 # ----------------------------------------------------------------------
@@ -774,10 +811,14 @@ class _ArrivalSortedMixin(VecScheduler):
         self._cached_partials = _EMPTY_ROWS
 
     def _partition(self) -> tuple[np.ndarray, np.ndarray]:
-        """(decodes sorted by arrival — stable, partials in running order)."""
+        """(decodes sorted by arrival — stable, partials in running order).
+
+        Partitions the *schedulable* running rows; in-flight mutations
+        bump ``_run_version`` so the cache never serves stale rows.
+        """
         if self._cache_version != self._run_version:
             A = self.A
-            run_arr = np.array(self.running, dtype=np.int64)
+            run_arr = np.array(self._schedulable_rows(), dtype=np.int64)
             if run_arr.size:
                 complete = A.prefill_done[run_arr] >= A.prefill_target[run_arr]
                 decodes = run_arr[complete]
@@ -936,6 +977,155 @@ class VecSarathiScheduler(_ArrivalSortedMixin):
         return chunk if chunk > 0 else 0
 
 
+class VecDynamicSarathiScheduler(VecSarathiScheduler):
+    """Port of :class:`repro.core.dynamic.DynamicSarathiScheduler`.
+
+    Re-runs the §4.3 budget decision every iteration against the live
+    decode pool, exactly like the object scheduler: bisection over the
+    step grid for the largest budget whose predicted hybrid-iteration
+    latency meets the TBT SLO.  Instead of an opaque ``works -> cost``
+    oracle it prices candidates from per-component memo tables (the
+    same tables the vectorized engine uses), assembled in
+    ``stage_iteration_time``'s operation order so every probe produces
+    the same float the object's ``iteration_cost`` closure would — the
+    budget choices, and hence the schedules, stay bit-identical.
+
+    The decode pool's attention sum is folded left-to-right once per
+    ``_pick_budget`` and shared across probes; that matches the
+    object's per-probe ``sum(...)`` because float addition is
+    deterministic and every probe folds the same prefix.
+    """
+
+    name = "sarathi-dynamic"
+
+    def __init__(
+        self,
+        arrays: RequestArrays,
+        memory: VecPagedMemory,
+        exec_model,
+        tbt_slo: float,
+        min_budget: int = 128,
+        max_budget: int = 8192,
+        budget_step: int = 128,
+        max_batch_size: int = 128,
+    ) -> None:
+        if tbt_slo <= 0:
+            raise ValueError("tbt_slo must be positive")
+        if not 0 < min_budget <= max_budget:
+            raise ValueError("need 0 < min_budget <= max_budget")
+        if budget_step <= 0:
+            raise ValueError("budget_step must be positive")
+        super().__init__(
+            arrays,
+            memory,
+            token_budget=min_budget,
+            max_batch_size=max_batch_size,
+        )
+        self.exec_model = exec_model
+        self.tbt_slo = tbt_slo
+        self.min_budget = min_budget
+        self.max_budget = max_budget
+        self.budget_step = budget_step
+        self.budget_history: list[int] = []
+        self._pp = exec_model.parallel.pipeline_parallel
+        # Candidate-pricing memos, keyed like the engine's (see
+        # VectorizedReplicaEngine._price): components are cached, the
+        # assembly replays every float operation.
+        self._dyn_linear: dict[tuple[int, int], float] = {}
+        self._dyn_prefill_attn: dict[tuple[int, int], float] = {}
+        self._dyn_decode_attn: dict[int, float] = {}
+        self._dyn_token: dict[int, tuple[float, float]] = {}
+        self._dyn_send: dict[int, float] = {}
+        self._dyn_overhead = exec_model._fixed_overhead(True)
+
+    def _build_batch(self, now: float) -> VecBatch | None:
+        self.token_budget = self._pick_budget()
+        self.budget_history.append(self.token_budget)
+        return super()._build_batch(now)
+
+    # ------------------------------------------------------------------
+    def _pick_budget(self) -> int:
+        """Largest budget whose predicted iteration fits the SLO."""
+        A = self.A
+        decode_attn = 0
+        num_decodes = 0
+        table = self._dyn_decode_attn
+        work_time = self.exec_model.attention.work_time
+        for row in self._schedulable_rows():
+            if A.prefill_done[row] < A.prefill_target[row]:
+                continue
+            ctx = int(A.prefill_done[row] + A.decode_steps[row])
+            value = table.get(ctx)
+            if value is None:
+                value = work_time(TokenWork.decode(ctx))
+                table[ctx] = value
+            decode_attn = decode_attn + value
+            num_decodes += 1
+        lo = self.min_budget
+        if not self._fits(lo, num_decodes, decode_attn):
+            return self.min_budget
+        hi = self.max_budget
+        if self._fits(hi, num_decodes, decode_attn):
+            return self.max_budget
+        while hi - lo > self.budget_step:
+            mid = lo + (hi - lo) // (2 * self.budget_step) * self.budget_step
+            if mid == lo:
+                break
+            if self._fits(mid, num_decodes, decode_attn):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _fits(self, budget: int, num_decodes: int, decode_attn: float) -> bool:
+        num_tokens = num_decodes
+        attention = decode_attn
+        prefill_tokens = budget - num_decodes
+        if prefill_tokens > 0:
+            key = (prefill_tokens, budget)
+            value = self._dyn_prefill_attn.get(key)
+            if value is None:
+                value = self.exec_model.attention.work_time(
+                    TokenWork.prefill_chunk(
+                        prefill_tokens, past_len=budget, is_last=False
+                    )
+                )
+                self._dyn_prefill_attn[key] = value
+            attention = attention + value
+            num_tokens += prefill_tokens
+        elif num_decodes == 0:
+            return True  # empty candidate — mirrors the object guard
+        lin_key = (num_tokens, num_decodes)
+        linear = self._dyn_linear.get(lin_key)
+        if linear is None:
+            linear = self.exec_model.linear.stage_time(num_tokens, num_decodes)
+            self._dyn_linear[lin_key] = linear
+        token_terms = self._dyn_token.get(num_tokens)
+        if token_terms is None:
+            model = self.exec_model
+            token_terms = (
+                model._others_time(num_tokens),
+                tp_comm_time(
+                    model.model, model.parallel, num_tokens, model.stage_layers
+                ),
+            )
+            self._dyn_token[num_tokens] = token_terms
+        stage = IterationTime(
+            linear, attention, token_terms[0], token_terms[1], self._dyn_overhead
+        ).total
+        if self._pp == 1:
+            cost = stage
+        else:
+            send = self._dyn_send.get(num_tokens)
+            if send is None:
+                send = pp_send_time(
+                    self.exec_model.model, self.exec_model.parallel, num_tokens
+                )
+                self._dyn_send[num_tokens] = send
+            cost = self._pp * stage + (self._pp - 1) * send
+        return cost <= self.tbt_slo
+
+
 class VecVLLMScheduler(_ArrivalSortedMixin):
     """Port of :class:`repro.scheduling.vllm.VLLMScheduler` (Algorithm 2)."""
 
@@ -1007,8 +1197,8 @@ class VecVLLMScheduler(_ArrivalSortedMixin):
         if not len(partials):
             return sorted_decodes
         # Rare (swap re-admission): merge back to the object engine's
-        # ordering — the full running pool, stably sorted by arrival.
-        run_arr = np.array(self.running, dtype=np.int64)
+        # ordering — the schedulable pool, stably sorted by arrival.
+        run_arr = np.array(self._schedulable_rows(), dtype=np.int64)
         order = np.argsort(self.A.arrival_time[run_arr], kind="stable")
         return run_arr[order]
 
@@ -1031,7 +1221,9 @@ class VecOrcaScheduler(VecScheduler):
     def _build_batch(self, now: float) -> VecBatch | None:
         A = self.A
         if self._cache_version != self._run_version:
-            self._cached_running = np.array(self.running, dtype=np.int64)
+            self._cached_running = np.array(
+                self._schedulable_rows(), dtype=np.int64
+            )
             self._cache_version = self._run_version
         run_arr = self._cached_running
         decode_rows = run_arr[: self.max_batch_size]
@@ -1040,9 +1232,10 @@ class VecOrcaScheduler(VecScheduler):
                 A.prefill_done[decode_rows] >= A.prefill_target[decode_rows]
             )
         ):
-            # With one stage a running request's full prefill always
-            # commits before the next schedule, so a partial runner
-            # would mean the port diverged from the object engine.
+            # A running request's full prefill always commits with the
+            # batch that admitted it (in-flight rows are excluded), so
+            # a partial schedulable runner would mean the port diverged
+            # from the object engine.
             raise RuntimeError(
                 "vectorized orca core saw a partially prefilled running request"
             )
@@ -1097,6 +1290,9 @@ class VecFasterTransformerScheduler(VecScheduler):
                     break
                 self._members.append(admitted)
             members = self._members
+        in_flight = self._in_flight
+        if in_flight:
+            members = [r for r in members if r not in in_flight]
         if not members:
             return None
 
@@ -1157,7 +1353,7 @@ class VecChunkedPrefillsOnlyScheduler(_ArrivalSortedMixin):
         sorted_decodes, partials = self._partition()
         if not len(partials):
             return sorted_decodes
-        run_arr = np.array(self.running, dtype=np.int64)
+        run_arr = np.array(self._schedulable_rows(), dtype=np.int64)
         order = np.argsort(self.A.arrival_time[run_arr], kind="stable")
         return run_arr[order]
 
@@ -1177,7 +1373,7 @@ class VecChunkedPrefillsOnlyScheduler(_ArrivalSortedMixin):
             p_is_last.append(chunk >= remaining)
 
         # Ongoing partial prefills first (running order), then admit.
-        for row in self.running:
+        for row in self._schedulable_rows():
             if A.prefill_done[row] >= A.prefill_target[row]:
                 continue
             chunk = self._next_chunk(row, tokens_used)

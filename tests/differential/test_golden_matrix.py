@@ -27,10 +27,12 @@ from tests.differential.conftest import (
 
 pytestmark = pytest.mark.tier1
 
-# The vectorized core supports every scheduler except SARATHI_DYNAMIC
-# (per-candidate iteration pricing stays object-only).
+# The vectorized core supports every built-in scheduler, including the
+# dynamic-budget Sarathi variant; only policy-protocol plug-ins stay
+# object-only.
 PR_SCHEDULERS = [
     SchedulerKind.SARATHI,
+    SchedulerKind.SARATHI_DYNAMIC,
     SchedulerKind.VLLM,
     SchedulerKind.FASTER_TRANSFORMER,
 ]
@@ -107,12 +109,61 @@ def test_engine_stats_agree_on_work_done(tiny_deployment):
     assert obj.engine_stats.num_batches == vec.engine_stats.num_batches
 
 
-def test_dynamic_scheduler_rejected_by_vectorized(tiny_deployment):
-    config = ServingConfig(
-        scheduler=SchedulerKind.SARATHI_DYNAMIC, engine="vectorized"
+# ----------------------------------------------------------------------
+# Pipeline parallelism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", PR_SCHEDULERS)
+def test_pipeline_small(tiny_pp_deployment, kind):
+    """Every-PR pipeline slice: pp=2 stage overlap matches bit-for-bit."""
+    trace = WORKLOADS["sharegpt"](14, 0)
+    obj, vec = run_engine_pair(tiny_pp_deployment, _config(kind), trace)
+    assert_results_identical(obj, vec)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("kind", ALL_SCHEDULERS)
+def test_pipeline_full_matrix(tiny_pp_deployment, kind, workload, seed):
+    trace = WORKLOADS[workload](20, seed)
+    obj, vec = run_engine_pair(tiny_pp_deployment, _config(kind), trace)
+    assert_results_identical(obj, vec)
+
+
+@pytest.mark.parametrize(
+    "kind", [SchedulerKind.SARATHI, SchedulerKind.SARATHI_DYNAMIC]
+)
+def test_pipeline_preemption_pressure(tiny_pp_deployment, kind):
+    """In-flight rows must be exempt from eviction in both engines."""
+    trace = [
+        make_request(prompt_len=256, output_len=300, arrival_time=0.005 * i)
+        for i in range(10)
+    ]
+    config = _config(kind, preemption_mode="recompute")
+    obj, vec = run_engine_pair(
+        tiny_pp_deployment, config, trace, shrink_memory=True
     )
-    with pytest.raises(ValueError, match="dynamic budget"):
-        build_engine(tiny_deployment, config)
+    assert obj.num_preemptions > 0
+    assert_results_identical(obj, vec)
+
+
+def test_policy_scheduler_rejected_by_vectorized_names_capable(tiny_deployment):
+    """Object-only schedulers fail loudly and name the vectorized ones."""
+    from repro.scheduling import registry as sched_registry
+    from repro.scheduling.theory import SRPTOraclePolicy
+
+    sched_registry.register_policy(
+        "test_object_only", lambda ctx: SRPTOraclePolicy()
+    )
+    try:
+        config = ServingConfig(scheduler="test_object_only", engine="vectorized")
+        with pytest.raises(ValueError) as err:
+            build_engine(tiny_deployment, config)
+        for name in sched_registry.vectorized_names():
+            assert name in str(err.value)
+        assert "sarathi_dynamic" in str(err.value)
+    finally:
+        sched_registry.unregister("test_object_only")
 
 
 # ----------------------------------------------------------------------

@@ -181,11 +181,19 @@ class TestReplicaEngineSingleStage:
 
 
 class TestReplicaEnginePipeline:
-    def test_vectorized_rejects_pipeline_parallel(self, tiny_pp_deployment):
-        # The vectorized core models a single stage; pp deployments
-        # must fail loudly at build time, not drift silently.
-        with pytest.raises(ValueError, match="single-stage"):
-            build_engine(tiny_pp_deployment, ServingConfig(engine="vectorized"))
+    def test_vectorized_runs_pipeline_parallel(self, tiny_pp_deployment):
+        # The vectorized core models multi-stage pipelines since §13;
+        # a pp deployment must build and drain like the object engine.
+        requests = [
+            make_request(prompt_len=128, output_len=6, arrival_time=0.01 * i)
+            for i in range(12)
+        ]
+        engine = build_engine(
+            tiny_pp_deployment, ServingConfig(engine="vectorized")
+        )
+        result = engine.run(requests)
+        assert all(r.is_finished for r in result.requests)
+        assert result.num_stages == 2
 
     def test_pipeline_runs_all_requests(self, tiny_pp_deployment):
         requests = [
