@@ -55,6 +55,12 @@ Cases:
   (sarathi vs the SRPT oracle, capacity search skipped) run twice in
   one process: a cold-registry run vs a process-warm rerun, which must
   produce identical rankings cell for cell.
+* **fleet_resilience** — the resilience experiment's high-fault-rate
+  operating point (correlated slowdown faults over 2 domains) with the
+  brownout controller off vs on, run twice in one process; both runs
+  must produce identical points, and the detail records the headline:
+  brownout-on goodput vs brownout-off, plus the MTTR-style recovery
+  times.
 
 Usage::
 
@@ -857,6 +863,84 @@ def _timed_leaderboard(deployment: Deployment, quick: bool, seed: int) -> BenchC
     )
 
 
+# ----------------------------------------------------------------------
+# Fleet resilience determinism + brownout payoff
+# ----------------------------------------------------------------------
+RESILIENCE_SCALE = Scale(num_requests=80, capacity_rel_tol=0.2, capacity_max_probes=3)
+RESILIENCE_QUICK_SCALE = Scale(
+    num_requests=40, capacity_rel_tol=0.2, capacity_max_probes=3
+)
+
+
+def _timed_fleet_resilience(quick: bool, seed: int) -> BenchCase:
+    """Resilience case: brownout off/on pair, cold vs process-warm.
+
+    Always runs on the Mistral deployment (the resilience sweep's own):
+    the operating point — correlated 2x slowdowns against the strict
+    TBT SLO with a chunk-dominated 1024 budget — is tuned so the
+    brownout's budget rung has real leverage, and a tiny model would
+    change the regime.  Both runs must produce identical points.
+    """
+    from repro.experiments.resilience import (
+        ResiliencePointSpec,
+        SWEEP_TOKEN_BUDGET,
+        run_resilience_point,
+    )
+
+    deployment = mistral_deployment()
+    scale = replace(
+        RESILIENCE_QUICK_SCALE if quick else RESILIENCE_SCALE, seed=seed
+    )
+    config = ServingConfig(
+        scheduler=SchedulerKind.SARATHI, token_budget=SWEEP_TOKEN_BUDGET
+    )
+    slo = derived_slo(execution_model_for(deployment, config), strict=True)
+    specs = [
+        ResiliencePointSpec(
+            deployment=deployment,
+            config=config,
+            scale=scale,
+            num_replicas=4,
+            qps=6.0,
+            fault_rate=0.15,
+            correlated=True,
+            brownout=brownout,
+            mean_downtime=6.0,
+            tbt_deadline=slo.p99_tbt,
+        )
+        for brownout in (False, True)
+    ]
+
+    def run():
+        start = time.perf_counter()
+        points = [run_resilience_point(spec) for spec in specs]
+        return time.perf_counter() - start, points
+
+    clear_process_models()
+    cold_s, cold = run()
+    warm_s, warm = run()
+    identical = cold == warm
+    off, on = cold
+
+    def _fmt(value):
+        return "-" if value is None else f"{value:.2f}s"
+
+    return BenchCase(
+        name="fleet_resilience",
+        uncached_seconds=cold_s,
+        cached_seconds=warm_s,
+        identical=identical,
+        detail=(
+            f"{deployment.label}, 4 replicas x 2 domains, correlated "
+            f"slowdown rate=0.15, seed={scale.seed}; goodput "
+            f"{off.goodput_rps:.2f} rps (brownout off) -> "
+            f"{on.goodput_rps:.2f} rps (on), MTTR {_fmt(off.mean_recovery_s)} "
+            f"-> {_fmt(on.mean_recovery_s)}; timed columns = cold-registry "
+            f"run vs process-warm rerun (must be bit-identical)"
+        ),
+    )
+
+
 def bench_simulator_cache_speed(benchmark, report):
     """pytest entry: quick variant of the harness, same assertions."""
     deployment = Deployment(model=TINY_1B, gpu=A100_80G)
@@ -873,7 +957,8 @@ def bench_simulator_cache_speed(benchmark, report):
             )
         prefix = _timed_prefix_cache_conversation(deployment, quick=True, seed=0)
         leaderboard = _timed_leaderboard(deployment, quick=True, seed=0)
-        return [sweep, hybrid, *grid, prefix, leaderboard]
+        resilience = _timed_fleet_resilience(quick=True, seed=0)
+        return [sweep, hybrid, *grid, prefix, leaderboard, resilience]
 
     cases = benchmark.pedantic(run, rounds=1, iterations=1)
     report(
@@ -947,10 +1032,12 @@ def main(argv: list[str] | None = None) -> int:
     prefix_case = _timed_prefix_cache_conversation(deployment, args.quick, args.seed)
     print("timing scheduler leaderboard (2-policy smoke)…", flush=True)
     leaderboard_case = _timed_leaderboard(deployment, args.quick, args.seed)
+    print("timing fleet resilience (brownout off/on)…", flush=True)
+    resilience_case = _timed_fleet_resilience(args.quick, args.seed)
     cases = [
         sweep_case, hybrid_case, *grid_cases,
         vec_replica_case, vec_fleet_case, vec_pp_case, vec_dynamic_case,
-        surrogate_case, prefix_case, leaderboard_case,
+        surrogate_case, prefix_case, leaderboard_case, resilience_case,
     ]
 
     print()

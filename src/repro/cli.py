@@ -286,9 +286,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.cluster.fleet import AdmissionPolicy, FaultSchedule, FleetConfig, simulate_fleet
+    from repro.cluster.fleet import (
+        AdmissionPolicy,
+        FaultSchedule,
+        FleetConfig,
+        HealthConfig,
+        partition_domains,
+        simulate_fleet,
+    )
     from repro.experiments.fleet import DEFAULT_TTFT_DEADLINE, router_named
     from repro.metrics.goodput import RequestSLO, fleet_goodput
+    from repro.metrics.recovery import recovery_report
     from repro.metrics.slo import derived_slo
 
     if args.sweep:
@@ -312,17 +320,41 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     slo = derived_slo(deployment.execution_model(), strict=False)
     horizon = max(r.arrival_time for r in trace) + 30.0
-    fleet_config = FleetConfig(
-        num_replicas=args.replicas,
-        faults=FaultSchedule.poisson(
+    domains = None
+    if args.fault_domains > 0:
+        domains = partition_domains(args.replicas, args.fault_domains)
+        faults = FaultSchedule.correlated(
+            domains,
+            rate=args.fault_rate,
+            mean_downtime=args.mean_downtime,
+            horizon=horizon,
+            seed=args.fault_seed,
+            kind=args.fault_kind,
+            severity=args.fault_severity,
+        )
+    else:
+        faults = FaultSchedule.poisson(
             args.replicas,
             rate=args.fault_rate,
             mean_downtime=args.mean_downtime,
             horizon=horizon,
             seed=args.fault_seed,
-        ),
+            kind=args.fault_kind,
+            severity=args.fault_severity,
+        )
+    brownout = None
+    if args.brownout:
+        from repro.experiments.resilience import default_brownout
+
+        brownout = default_brownout(slo.p99_tbt, args.token_budget)
+    fleet_config = FleetConfig(
+        num_replicas=args.replicas,
+        faults=faults,
+        domains=domains,
         max_queue_depth=args.max_queue_depth,
         admission=AdmissionPolicy(args.admission),
+        health=HealthConfig() if args.health else None,
+        brownout=brownout,
     )
     result, metrics = simulate_fleet(
         deployment,
@@ -338,8 +370,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"scheduler:  {scheduler} (budget {args.token_budget}), "
           f"router {args.router}")
     print(f"workload:   {dataset.name}, {args.requests} requests @ {args.qps} qps")
+    unit = "domain" if args.fault_domains > 0 else "replica"
     print(f"faults:     {len(fleet_config.faults.faults)} scheduled "
-          f"({args.fault_rate}/replica-s, mean downtime {args.mean_downtime}s)")
+          f"({args.fault_kind}, {args.fault_rate}/{unit}-s, "
+          f"mean downtime {args.mean_downtime}s)")
+    knobs = [k for k, on in (("health", args.health), ("brownout", args.brownout)) if on]
+    if knobs:
+        print(f"control:    {' + '.join(knobs)}")
     print()
     print(f"finished / offered   {report.num_finished:5d} / {report.num_offered}")
     print(f"shed (overload)      {report.num_shed:5d}")
@@ -350,6 +387,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"goodput              {report.goodput_rps:8.2f} req/s")
     print(f"median TTFT          {metrics.median_ttft:8.3f} s")
     print(f"P99 TBT              {metrics.p99_tbt:8.3f} s")
+    recovery = recovery_report(result, slo_tbt=slo.p99_tbt)
+    if recovery.num_disruptions:
+        mttr = recovery.mean_recovery_time
+        print(f"disruptions          {recovery.num_disruptions:5d} "
+              f"({recovery.num_censored} unrecovered at end of run)")
+        print(f"mean time-to-SLO     "
+              f"{'   n/a' if mttr is None else f'{mttr:8.3f} s'}")
+    drains = sum(1 for e in result.events if e.kind == "drain_start")
+    brownouts = sum(1 for e in result.events if e.kind == "brownout_enter")
+    if drains:
+        print(f"health drains        {drains:5d}")
+    if brownouts:
+        print(f"brownout episodes    {brownouts:5d}")
     return 0
 
 
@@ -542,10 +592,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["round-robin", "least-outstanding", "slo-aware"],
     )
     fleet.add_argument("--fault-rate", type=float, default=0.0,
-                       help="crashes per replica-second (Poisson)")
+                       help="faults per replica-second (Poisson), or per "
+                       "domain-second with --fault-domains")
+    fleet.add_argument("--fault-kind", default="crash",
+                       choices=["crash", "slowdown", "capacity_loss"],
+                       help="what a fault does: kill the replica, run it at a "
+                       "perf multiplier, or shrink its KV pool")
+    fleet.add_argument("--fault-severity", type=float, default=None,
+                       help="slowdown multiplier (>1) or KV fraction lost "
+                       "(0..1); defaults per kind")
     fleet.add_argument("--mean-downtime", type=float, default=5.0,
-                       help="mean seconds a crashed replica stays down")
+                       help="mean seconds a fault window stays open")
     fleet.add_argument("--fault-seed", type=int, default=0)
+    fleet.add_argument("--fault-domains", type=int, default=0,
+                       help="partition replicas into N failure domains and "
+                       "draw correlated domain-level faults (0 = independent "
+                       "per-replica faults)")
+    fleet.add_argument("--brownout", action="store_true",
+                       help="enable the SLO-aware brownout controller "
+                       "(degrades chunk budget/context/lowest tenant under "
+                       "TBT pressure)")
+    fleet.add_argument("--health", action="store_true",
+                       help="enable the health monitor (drains and restarts "
+                       "replicas whose TBT inflates vs the fleet median)")
     fleet.add_argument("--max-queue-depth", type=int, default=None,
                        help="per-replica admission bound (default unbounded)")
     fleet.add_argument("--admission", default="reject",

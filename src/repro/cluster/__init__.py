@@ -1,16 +1,25 @@
 """Multi-replica serving: routers and fleet simulation."""
 
 from repro.cluster.cluster import ClusterResult, simulate_cluster
+from repro.cluster.degradation import (
+    BrownoutConfig,
+    BrownoutController,
+    DegradationLevel,
+)
 from repro.cluster.fleet import (
     AdmissionPolicy,
+    FailureDomain,
+    FaultKind,
     FaultSchedule,
     FleetConfig,
     FleetEvent,
     FleetResult,
     FleetSimulator,
     ReplicaFault,
+    partition_domains,
     simulate_fleet,
 )
+from repro.cluster.health import HealthConfig, HealthMonitor
 from repro.cluster.router import (
     FleetRouter,
     LeastOutstandingTokensRouter,
@@ -34,11 +43,19 @@ __all__ = [
     "ClusterResult",
     "simulate_cluster",
     "ReplicaFault",
+    "FaultKind",
     "FaultSchedule",
+    "FailureDomain",
+    "partition_domains",
     "AdmissionPolicy",
     "FleetConfig",
     "FleetEvent",
     "FleetResult",
     "FleetSimulator",
     "simulate_fleet",
+    "HealthConfig",
+    "HealthMonitor",
+    "BrownoutConfig",
+    "BrownoutController",
+    "DegradationLevel",
 ]

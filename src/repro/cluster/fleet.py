@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
+from repro.cluster.degradation import BrownoutConfig, BrownoutController
+from repro.cluster.health import HealthConfig, HealthMonitor
 from repro.cluster.router import (
     FleetRouter,
     LeastOutstandingTokensRouter,
@@ -55,20 +58,41 @@ if TYPE_CHECKING:
     from repro.perf.iteration import ExecutionModel
 
 _ARRIVE = "arrive"          # payload: (request, attempt)
-_FAULT_DOWN = "fault_down"  # payload: replica index
-_FAULT_UP = "fault_up"      # payload: replica index
+_FAULT_DOWN = "fault_down"  # payload: ReplicaFault
+_FAULT_UP = "fault_up"      # payload: ReplicaFault
+_CONTROL_TICK = "control_tick"  # payload: None (health/brownout loops)
 
 
 # ----------------------------------------------------------------------
 # Fault schedules
 # ----------------------------------------------------------------------
+class FaultKind(str, enum.Enum):
+    """What a scheduled fault does to its replica."""
+
+    CRASH = "crash"                  # whole-replica loss (today's behaviour)
+    SLOWDOWN = "slowdown"            # straggler GPU / thermal throttle
+    CAPACITY_LOSS = "capacity_loss"  # mid-run shrink of the KV block pool
+
+
 @dataclass(frozen=True)
 class ReplicaFault:
-    """One crash (and optional recovery) of one replica."""
+    """One scheduled fault (and optional recovery) of one replica.
+
+    ``crash`` kills the engine and fails its requests over; ``slowdown``
+    multiplies every iteration's execution time by ``severity`` (a
+    perf factor > 1) while the replica keeps serving; ``capacity_loss``
+    removes a ``severity`` fraction (in (0, 1)) of the KV pool, forcing
+    evictions and preemptions until ``up_at`` restores it.  ``severity``
+    is unused for ``crash`` and defaults per kind otherwise.
+    """
 
     replica: int
     down_at: float
     up_at: float | None = None  # None = never recovers
+    kind: FaultKind = FaultKind.CRASH
+    severity: float | None = None
+
+    _DEFAULT_SEVERITIES = {"slowdown": 2.0, "capacity_loss": 0.5}
 
     def __post_init__(self) -> None:
         if self.replica < 0:
@@ -79,6 +103,77 @@ class ReplicaFault:
             raise ValueError(
                 f"up_at ({self.up_at}) must be after down_at ({self.down_at})"
             )
+        try:
+            kind = FaultKind(self.kind)
+        except ValueError:
+            choices = ", ".join(repr(k.value) for k in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose one of {choices}"
+            ) from None
+        object.__setattr__(self, "kind", kind)
+        if kind is FaultKind.CRASH:
+            if self.severity is not None:
+                raise ValueError("crash faults take no severity")
+            return
+        severity = self.severity
+        if severity is None:
+            severity = self._DEFAULT_SEVERITIES[kind.value]
+            object.__setattr__(self, "severity", severity)
+        if kind is FaultKind.SLOWDOWN and severity <= 1.0:
+            raise ValueError(
+                f"slowdown severity is a perf multiplier > 1, got {severity}"
+            )
+        if kind is FaultKind.CAPACITY_LOSS and not 0.0 < severity < 1.0:
+            raise ValueError(
+                f"capacity_loss severity is a fraction in (0, 1), got {severity}"
+            )
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """A correlated blast radius: replicas sharing a host/rack/zone.
+
+    Members fail *together* under :meth:`FaultSchedule.correlated` —
+    the topology models the paper-adjacent production reality that a
+    rack event takes out every replica it powers at once.
+    """
+
+    name: str
+    replicas: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "replicas", tuple(self.replicas))
+        if not self.name:
+            raise ValueError("domain name must be non-empty")
+        if not self.replicas:
+            raise ValueError(f"domain {self.name!r} has no replicas")
+        if any(r < 0 for r in self.replicas):
+            raise ValueError(f"domain {self.name!r} has negative replica indices")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValueError(f"domain {self.name!r} lists a replica twice")
+
+
+def partition_domains(
+    num_replicas: int, num_domains: int, prefix: str = "domain"
+) -> tuple[FailureDomain, ...]:
+    """Split replica indices into contiguous, near-equal failure domains."""
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    if not 1 <= num_domains <= num_replicas:
+        raise ValueError(
+            f"need 1 <= num_domains <= num_replicas, "
+            f"got {num_domains} domains for {num_replicas} replicas"
+        )
+    base, extra = divmod(num_replicas, num_domains)
+    domains: list[FailureDomain] = []
+    start = 0
+    for i in range(num_domains):
+        size = base + (1 if i < extra else 0)
+        domains.append(
+            FailureDomain(f"{prefix}{i}", tuple(range(start, start + size)))
+        )
+        start += size
+    return tuple(domains)
 
 
 @dataclass(frozen=True)
@@ -120,9 +215,14 @@ class FaultSchedule:
 
     @classmethod
     def single(
-        cls, replica: int, down_at: float, up_at: float | None = None
+        cls,
+        replica: int,
+        down_at: float,
+        up_at: float | None = None,
+        kind: FaultKind | str = FaultKind.CRASH,
+        severity: float | None = None,
     ) -> "FaultSchedule":
-        return cls(faults=(ReplicaFault(replica, down_at, up_at),))
+        return cls(faults=(ReplicaFault(replica, down_at, up_at, kind, severity),))
 
     @classmethod
     def poisson(
@@ -132,11 +232,13 @@ class FaultSchedule:
         mean_downtime: float | None,
         horizon: float,
         seed: int = 0,
+        kind: FaultKind | str = FaultKind.CRASH,
+        severity: float | None = None,
     ) -> "FaultSchedule":
-        """Seedable memoryless crashes: ``rate`` crashes/replica-second.
+        """Seedable memoryless faults: ``rate`` faults/replica-second.
 
         Each replica independently draws exponential time-to-failure;
-        after a crash it stays down for an exponential downtime with
+        after a fault it stays degraded for an exponential downtime with
         the given mean (or forever when ``mean_downtime`` is None) and
         the failure clock restarts.  Deterministic for a given seed.
         """
@@ -159,10 +261,72 @@ class FaultSchedule:
                 if t >= horizon:
                     break
                 if mean_downtime is None:
-                    faults.append(ReplicaFault(replica, t))
+                    faults.append(ReplicaFault(replica, t, None, kind, severity))
                     break
                 downtime = rng.expovariate(1.0 / mean_downtime)
-                faults.append(ReplicaFault(replica, t, t + downtime))
+                faults.append(
+                    ReplicaFault(replica, t, t + downtime, kind, severity)
+                )
+                t += downtime
+        return cls(tuple(faults))
+
+    @classmethod
+    def correlated(
+        cls,
+        domains: Sequence[FailureDomain],
+        rate: float,
+        mean_downtime: float | None,
+        horizon: float,
+        seed: int = 0,
+        kind: FaultKind | str = FaultKind.CRASH,
+        severity: float | None = None,
+    ) -> "FaultSchedule":
+        """Seeded domain-level events faulting every member at once.
+
+        ``rate`` is events per domain-second.  Each domain draws its
+        own exponential event stream from ``Random(f"{seed}:{name}")``,
+        so adding or renaming one domain never perturbs the others'
+        draws.  Domains must be disjoint — a shared member would
+        receive overlapping faults, which :meth:`validate` rejects.
+        """
+        if not domains:
+            raise ValueError("correlated() needs at least one domain")
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if mean_downtime is not None and mean_downtime <= 0:
+            raise ValueError("mean_downtime must be positive (or None)")
+        seen: set[int] = set()
+        for domain in domains:
+            overlap = seen.intersection(domain.replicas)
+            if overlap:
+                raise ValueError(
+                    f"domain {domain.name!r} shares replicas "
+                    f"{sorted(overlap)} with an earlier domain"
+                )
+            seen.update(domain.replicas)
+        if rate == 0:
+            return cls()
+        faults: list[ReplicaFault] = []
+        for domain in domains:
+            rng = random.Random(f"{seed}:{domain.name}")
+            t = 0.0
+            while True:
+                t += rng.expovariate(rate)
+                if t >= horizon:
+                    break
+                if mean_downtime is None:
+                    faults.extend(
+                        ReplicaFault(r, t, None, kind, severity)
+                        for r in domain.replicas
+                    )
+                    break
+                downtime = rng.expovariate(1.0 / mean_downtime)
+                faults.extend(
+                    ReplicaFault(r, t, t + downtime, kind, severity)
+                    for r in domain.replicas
+                )
                 t += downtime
         return cls(tuple(faults))
 
@@ -184,13 +348,24 @@ class FleetConfig:
 
     num_replicas: int = 1
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+    # Correlated-failure topology (host/rack/zone); informational for
+    # routing/telemetry and validated against num_replicas.  Fault
+    # schedules over domains come from FaultSchedule.correlated.
+    domains: tuple[FailureDomain, ...] = ()
     # Per-replica bound on *waiting* (not yet memory-admitted) requests;
     # None keeps the old unbounded-queue behaviour.
     max_queue_depth: int | None = None
     admission: AdmissionPolicy = AdmissionPolicy.REJECT
-    # Rejected requests retry after backoff * factor**attempt seconds …
+    # Rejected requests retry after backoff * factor**attempt seconds,
+    # capped at retry_backoff_max and stretched by up to retry_jitter
+    # via a seeded per-(request, attempt) draw — deterministic, but
+    # de-synchronized across requests so a crash's failed-over cohort
+    # doesn't hammer the fleet in lockstep (a retry storm) …
     retry_backoff: float = 0.25
     retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 8.0
+    retry_jitter: float = 0.25
+    retry_seed: int = 0
     # … up to max_retries times (then shed), or until the total wait
     # exceeds admission_timeout (then shed), whichever comes first.
     max_retries: int = 4
@@ -198,6 +373,11 @@ class FleetConfig:
     # Sliding window of recent TBT samples kept per replica for the
     # SLO-aware router and telemetry snapshots.
     tbt_window: int = 128
+    # Optional control loops: the straggler health monitor
+    # (repro.cluster.health) and the SLO-aware brownout controller
+    # (repro.cluster.degradation).  None disables each.
+    health: HealthConfig | None = None
+    brownout: BrownoutConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_replicas < 1:
@@ -221,6 +401,29 @@ class FleetConfig:
             raise ValueError(
                 f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
             )
+        if self.retry_backoff_max < self.retry_backoff:
+            raise ValueError(
+                f"retry_backoff_max ({self.retry_backoff_max}) must be >= "
+                f"retry_backoff ({self.retry_backoff})"
+            )
+        if self.retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be >= 0, got {self.retry_jitter}")
+        object.__setattr__(self, "domains", tuple(self.domains))
+        members: set[int] = set()
+        for domain in self.domains:
+            if not isinstance(domain, FailureDomain):
+                raise ValueError(f"domains must be FailureDomain, got {domain!r}")
+            for member in domain.replicas:
+                if member >= self.num_replicas:
+                    raise ValueError(
+                        f"domain {domain.name!r} lists replica {member}, "
+                        f"fleet has {self.num_replicas}"
+                    )
+                if member in members:
+                    raise ValueError(
+                        f"replica {member} appears in two failure domains"
+                    )
+                members.add(member)
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.admission_timeout is not None and self.admission_timeout <= 0:
@@ -241,8 +444,13 @@ class FleetEvent:
 
     Kinds: ``route`` (delivery to a replica), ``reject`` (bounced by
     admission control; ``retry_at`` set when a retry was scheduled),
-    ``shed`` (dropped for good), ``failover`` (re-routed off a crashed
-    replica), ``fault_down`` / ``fault_up`` (replica state changes).
+    ``shed`` (dropped for good — brownout sheds carry
+    ``brownout_tenant``/``brownout_context`` reasons), ``failover``
+    (re-routed off a crashed replica), ``fault_down`` / ``fault_up``
+    (crash/restore), ``fault_degrade`` / ``fault_recover``
+    (slowdown and capacity-loss windows), ``drain_start`` /
+    ``health_restart`` (straggler monitor) and ``brownout_enter`` /
+    ``brownout_exit`` (degradation-level changes).
     """
 
     time: float
@@ -401,6 +609,16 @@ class _ReplicaSlot:
         # dominated fleet wall-clock at high arrival rates.
         self._p99_cache: float | None = None
         self._p99_dirty = False
+        # Health-monitor drain flag: the router stops new work, the
+        # in-flight requests finish, then the monitor restarts the slot.
+        self.draining = False
+        # Active degraded-mode fault state, persisted across reboots so
+        # a restart inside a slowdown/capacity window stays degraded.
+        self._perf_scale = 1.0
+        self._capacity_fraction = 0.0
+        self._capacity_lost = 0
+        # Brownout budget clamp, re-applied to every new incarnation.
+        self.budget_override: int | None = None
         self._boot()
 
     def _boot(self) -> None:
@@ -412,6 +630,14 @@ class _ReplicaSlot:
         self.engine.token_observer = self._observe_token
         self.num_stages = self.engine.num_stages
         self.num_incarnations += 1
+        if self._perf_scale != 1.0:
+            self.engine.perf_scale = self._perf_scale
+        if self._capacity_fraction:
+            self._capacity_lost = self.engine.scheduler.memory.shed_capacity(
+                self._capacity_fraction
+            )
+        if self.budget_override is not None:
+            self.engine.scheduler.override_token_budget(self.budget_override)
 
     def _observe_token(self, request: Request, tbt: float, now: float) -> None:
         self.recent_tbts.append(tbt)
@@ -444,6 +670,7 @@ class _ReplicaSlot:
                 outstanding_tokens=0,
                 kv_occupancy=0.0,
                 recent_p99_tbt=None,
+                draining=False,
             )
         # The engines expose these as gauges (the object engine scans,
         # the vectorized engine keeps counters — same integers) so a
@@ -458,6 +685,7 @@ class _ReplicaSlot:
             outstanding_tokens=self.engine.outstanding_tokens(),
             kv_occupancy=scheduler.memory.occupancy,
             recent_p99_tbt=self._recent_p99(),
+            draining=self.draining,
         )
 
     # -- fault transitions --------------------------------------------
@@ -489,6 +717,10 @@ class _ReplicaSlot:
         )
         self.engine = None
         self.alive = False
+        self.draining = False
+        # The dead engine's shed KV pool died with it; a reboot inside
+        # the fault window re-sheds from the fresh pool.
+        self._capacity_lost = 0
         self.recent_tbts.clear()
         self._p99_dirty = True
         for request in failed:
@@ -500,6 +732,45 @@ class _ReplicaSlot:
         assert not self.alive
         self.alive = True
         self._boot()
+
+    def recycle(self, now: float) -> list[Request]:
+        """Drain-restart: crash plus immediate reboot.
+
+        Returns stragglers to fail over — empty when the caller waited
+        for the drain to complete (``engine.num_pending() == 0``).
+        """
+        failed = self.crash(now)
+        self.restore(now)
+        return failed
+
+    # -- degraded-mode faults ------------------------------------------
+    def slow_down(self, factor: float) -> None:
+        self._perf_scale = factor
+        if self.engine is not None:
+            self.engine.perf_scale = factor
+
+    def restore_speed(self) -> None:
+        self._perf_scale = 1.0
+        if self.engine is not None:
+            self.engine.perf_scale = 1.0
+
+    def lose_capacity(self, fraction: float) -> None:
+        self._capacity_fraction = fraction
+        if self.engine is not None:
+            self._capacity_lost = self.engine.scheduler.memory.shed_capacity(
+                fraction
+            )
+
+    def restore_capacity(self) -> None:
+        self._capacity_fraction = 0.0
+        if self.engine is not None and self._capacity_lost:
+            self.engine.scheduler.memory.restore_capacity(self._capacity_lost)
+        self._capacity_lost = 0
+
+    def apply_budget_override(self, budget: int | None) -> None:
+        self.budget_override = budget
+        if self.engine is not None:
+            self.engine.scheduler.override_token_budget(budget)
 
     # -- end of run ----------------------------------------------------
     def finalize(
@@ -590,6 +861,24 @@ class FleetSimulator:
         self.shed: list[Request] = []
         self.num_rejections = 0
         self.num_failovers = 0
+        # Control loops, both optional and both driven by the shared
+        # control-tick event stream.
+        self.health = (
+            HealthMonitor(fleet.health, fleet.num_replicas)
+            if fleet.health is not None
+            else None
+        )
+        self.brownout = (
+            BrownoutController(fleet.brownout)
+            if fleet.brownout is not None
+            else None
+        )
+        intervals = [
+            cfg.check_interval
+            for cfg in (fleet.health, fleet.brownout)
+            if cfg is not None
+        ]
+        self._tick_interval = min(intervals) if intervals else None
         # Per-slot next-event-time cache: every loop iteration mutates
         # at most one slot (a step, a delivery, or a fault transition),
         # so polling all N engines per event is N-1 parts waste.
@@ -609,11 +898,13 @@ class FleetSimulator:
         # Fault events enqueue first so a crash at the exact instant of
         # an arrival is observed by that arrival's routing decision.
         for fault in self.fleet.faults.faults:
-            queue.push(fault.down_at, _FAULT_DOWN, fault.replica)
+            queue.push(fault.down_at, _FAULT_DOWN, fault)
             if fault.up_at is not None:
-                queue.push(fault.up_at, _FAULT_UP, fault.replica)
+                queue.push(fault.up_at, _FAULT_UP, fault)
         for request in cloned:
             queue.push(request.arrival_time, _ARRIVE, (request, 0))
+        if self._tick_interval is not None:
+            queue.push(self._tick_interval, _CONTROL_TICK, None)
 
         now = 0.0
         while True:
@@ -682,9 +973,17 @@ class FleetSimulator:
             request, attempt = payload
             self._route(request, attempt, now, queue)
         elif kind == _FAULT_DOWN:
-            self._crash_replica(payload, now, queue)
+            if payload.kind is FaultKind.CRASH:
+                self._crash_replica(payload.replica, now, queue)
+            else:
+                self._degrade_replica(payload, now)
         elif kind == _FAULT_UP:
-            self._restore_replica(payload, now)
+            if payload.kind is FaultKind.CRASH:
+                self._restore_replica(payload.replica, now)
+            else:
+                self._recover_replica(payload, now)
+        elif kind == _CONTROL_TICK:
+            self._control_tick(now, queue)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown fleet event kind {kind!r}")
 
@@ -719,10 +1018,121 @@ class FleetSimulator:
         self._slot_dirty[index] = True
         self.events.append(FleetEvent(time=now, kind="fault_up", replica=index))
 
+    def _degrade_replica(self, fault: ReplicaFault, now: float) -> None:
+        slot = self.replicas[fault.replica]
+        if fault.kind is FaultKind.SLOWDOWN:
+            slot.slow_down(fault.severity)
+        else:
+            slot.lose_capacity(fault.severity)
+        self._slot_dirty[fault.replica] = True
+        self.events.append(
+            FleetEvent(
+                time=now,
+                kind="fault_degrade",
+                replica=fault.replica,
+                reason=f"{fault.kind.value}:{fault.severity:g}",
+            )
+        )
+
+    def _recover_replica(self, fault: ReplicaFault, now: float) -> None:
+        slot = self.replicas[fault.replica]
+        if fault.kind is FaultKind.SLOWDOWN:
+            slot.restore_speed()
+        else:
+            slot.restore_capacity()
+            if slot.alive:
+                # The shrunken pool may have stalled the replica with
+                # waiting-but-unadmittable work and no internal events;
+                # restoring capacity must nudge the scheduler.
+                slot.engine.kick(now)
+        self._slot_dirty[fault.replica] = True
+        self.events.append(
+            FleetEvent(
+                time=now,
+                kind="fault_recover",
+                replica=fault.replica,
+                reason=fault.kind.value,
+            )
+        )
+
+    # -- control loops -------------------------------------------------
+    def _control_tick(self, now: float, queue: EventQueue) -> None:
+        if self.health is not None:
+            self._run_health(now)
+        if self.brownout is not None:
+            self._run_brownout(now)
+        # Re-arm only while the run can still make progress, so the
+        # tick stream never keeps a drained event loop alive.
+        if queue.peek_time() is not None or any(
+            slot.alive and slot.engine.num_pending() > 0
+            for slot in self.replicas
+        ):
+            queue.push(now + self._tick_interval, _CONTROL_TICK, None)
+
+    def _run_health(self, now: float) -> None:
+        for index, ratio in self.health.flag_stragglers(self.replicas):
+            slot = self.replicas[index]
+            slot.draining = True
+            self.events.append(
+                FleetEvent(
+                    time=now,
+                    kind="drain_start",
+                    replica=index,
+                    reason=f"tbt_inflation={ratio:.2f}",
+                )
+            )
+        for slot in self.replicas:
+            if (
+                slot.draining
+                and slot.alive
+                and slot.engine.num_pending() == 0
+            ):
+                slot.draining = False
+                slot.recycle(now)
+                self._slot_dirty[slot.index] = True
+                self.events.append(
+                    FleetEvent(time=now, kind="health_restart", replica=slot.index)
+                )
+
+    def _run_brownout(self, now: float) -> None:
+        change = self.brownout.evaluate(now, self.replicas)
+        if change is None:
+            return
+        budget = self.brownout.active_budget()
+        for slot in self.replicas:
+            slot.apply_budget_override(budget)
+            if slot.alive:
+                self._slot_dirty[slot.index] = True
+        self.events.append(
+            FleetEvent(
+                time=now,
+                kind="brownout_enter" if change.direction > 0 else "brownout_exit",
+                reason=(
+                    f"level={change.level}"
+                    if change.p99_tbt is None
+                    else f"level={change.level} p99_tbt={change.p99_tbt:.3f}"
+                ),
+            )
+        )
+
     def _route(
         self, request: Request, attempt: int, now: float, queue: EventQueue
     ) -> None:
+        if self.brownout is not None:
+            veto = self.brownout.admission_veto(request)
+            if veto is not None:
+                self._shed(request, attempt, now, None, veto)
+                return
         snapshots = [slot.snapshot(now) for slot in self.replicas]
+        if any(s.draining for s in snapshots) and any(
+            s.alive and not s.draining for s in snapshots
+        ):
+            # Draining replicas take no new work while at least one
+            # routable replica remains: state-blind routers see them as
+            # down and the dead-pick failover below walks past them.
+            snapshots = [
+                replace(s, alive=False) if s.draining else s for s in snapshots
+            ]
         alive = [s for s in snapshots if s.alive]
         if not alive:
             self._reject(request, attempt, now, queue, None, "no_alive_replica")
@@ -795,7 +1205,19 @@ class FleetSimulator:
     ) -> None:
         self.num_rejections += 1
         fleet = self.fleet
-        retry_at = now + fleet.retry_backoff * (fleet.retry_backoff_factor**attempt)
+        backoff = min(
+            fleet.retry_backoff * (fleet.retry_backoff_factor**attempt),
+            fleet.retry_backoff_max,
+        )
+        if fleet.retry_jitter > 0.0:
+            # Stateless seeded jitter keyed by (seed, request, attempt):
+            # concurrent rejects de-synchronize without consuming shared
+            # RNG state, which would couple determinism to reject order.
+            draw = random.Random(
+                f"{fleet.retry_seed}:{request.request_id}:{attempt}"
+            ).random()
+            backoff *= 1.0 + fleet.retry_jitter * draw
+        retry_at = now + backoff
         timed_out = (
             fleet.admission_timeout is not None
             and retry_at - request.arrival_time > fleet.admission_timeout

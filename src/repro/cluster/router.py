@@ -47,6 +47,9 @@ class ReplicaSnapshot:
     # P99 over the replica's recent TBT samples (None before any
     # decode tokens have been observed, or right after a restart).
     recent_p99_tbt: float | None
+    # Health monitor is draining this replica: alive and finishing its
+    # in-flight work, but not accepting new arrivals.
+    draining: bool = False
 
 
 # ----------------------------------------------------------------------

@@ -140,6 +140,9 @@ class ReplicaEngine:
         self.token_observer: TokenObserver | None = None
         self._num_events = 0
         self._wall_time_s = 0.0
+        # Multiplier on every iteration's wall time — 1.0 is nominal;
+        # the fleet raises it to model straggler/throttled replicas.
+        self.perf_scale = 1.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -200,6 +203,16 @@ class ReplicaEngine:
         """Inject an arriving request at time ``now`` (stepped mode)."""
         self._all_requests.append(request)
         self.scheduler.add_request(request, now)
+        self._try_schedule(now)
+
+    def kick(self, now: float) -> None:
+        """Re-attempt scheduling after an external state change.
+
+        A replica can stall with waiting work but no internal events
+        when admission is blocked (e.g. a capacity_loss fault shrank
+        the KV pool); restoring the blocker must nudge the scheduler —
+        arrivals are the only other trigger.
+        """
         self._try_schedule(now)
 
     def next_event_time(self) -> float | None:
@@ -297,6 +310,8 @@ class ReplicaEngine:
         if stage_idx == 0 and batch.swap_bytes:
             swap_time = batch.swap_bytes / self.swap_bandwidth
             breakdown = breakdown + IterationTime(0.0, 0.0, 0.0, swap_time, 0.0)
+        if self.perf_scale != 1.0:
+            breakdown = breakdown.scaled(self.perf_scale)
         end = now + breakdown.total
         self._records.append(
             IterationRecord(

@@ -115,6 +115,10 @@ class VectorizedReplicaEngine:
         self._seq = 0
         self._num_events = 0
         self._wall_time_s = 0.0
+        # Multiplier on every iteration's wall time — 1.0 is nominal;
+        # the fleet raises it to model straggler/throttled replicas.
+        # Applied after pricing so the memo caches stay unscaled.
+        self.perf_scale = 1.0
         # Pipelined batches keep requests claimed across several stage
         # iterations; the scheduler must exclude them from re-batching
         # exactly like the object scheduler's in-flight set.
@@ -255,6 +259,16 @@ class VectorizedReplicaEngine:
         self.scheduler.add_row(row, now)
         self._try_schedule(now)
 
+    def kick(self, now: float) -> None:
+        """Re-attempt scheduling after an external state change.
+
+        A replica can stall with waiting work but no internal events
+        when admission is blocked (e.g. a capacity_loss fault shrank
+        the KV pool); restoring the blocker must nudge the scheduler —
+        arrivals are the only other trigger.
+        """
+        self._try_schedule(now)
+
     def next_event_time(self) -> float | None:
         """Timestamp of the next internal event, or ``None`` if idle."""
         candidate = self._next_internal()
@@ -391,6 +405,8 @@ class VectorizedReplicaEngine:
                 breakdown = breakdown + IterationTime(
                     0.0, 0.0, 0.0, swap_time, 0.0
                 )
+            if self.perf_scale != 1.0:
+                breakdown = breakdown.scaled(self.perf_scale)
             end = now + breakdown.total
             self._rec_stage.append(0)
             self._rec_start.append(now)
@@ -423,6 +439,8 @@ class VectorizedReplicaEngine:
         if stage_idx == 0 and batch.swap_bytes:
             swap_time = batch.swap_bytes / self.swap_bandwidth
             breakdown = breakdown + IterationTime(0.0, 0.0, 0.0, swap_time, 0.0)
+        if self.perf_scale != 1.0:
+            breakdown = breakdown.scaled(self.perf_scale)
         end = now + breakdown.total
         self._rec_stage.append(stage_idx)
         self._rec_start.append(now)

@@ -43,6 +43,7 @@ from repro.experiments.capacity_runner import (
 from repro.experiments.common import DEFAULT, Scale, mistral_deployment
 from repro.metrics.goodput import RequestSLO, fleet_goodput, goodput
 from repro.metrics.slo import derived_slo
+from repro.metrics.stats import jain_fairness
 from repro.runtime import map_tasks, persist_execution_model, shared_execution_model
 from repro.scheduling.registry import registered_names, scheduler_name
 from repro.workload.datasets import SHAREGPT4, generate_requests
@@ -105,6 +106,12 @@ class LeaderboardCell:
     attainment: float
     goodput_rps: float
     num_preemptions: int
+    # Fairness: a policy can buy a great mean by starving the tail.
+    # ``max_wait`` is the worst scheduling delay any request saw;
+    # ``latency_fairness`` is Jain's index over per-request end-to-end
+    # latencies (1.0 = everyone waited alike, 1/n = one request ate it).
+    max_wait: float = 0.0
+    latency_fairness: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -177,6 +184,11 @@ def run_leaderboard_cell(spec: LeaderboardCellSpec) -> LeaderboardCell:
     latencies = [
         r.e2e_latency for r in result.requests if r.e2e_latency is not None
     ]
+    waits = [
+        r.scheduling_delay
+        for r in result.requests
+        if r.scheduling_delay is not None
+    ]
     return LeaderboardCell(
         scheduler=scheduler_name(spec.config.scheduler),
         workload=spec.workload,
@@ -189,6 +201,8 @@ def run_leaderboard_cell(spec: LeaderboardCellSpec) -> LeaderboardCell:
         attainment=attainment,
         goodput_rps=goodput_rps,
         num_preemptions=metrics.num_preemptions,
+        max_wait=max(waits) if waits else 0.0,
+        latency_fairness=jain_fairness(latencies) if latencies else 1.0,
     )
 
 
@@ -304,7 +318,7 @@ def leaderboard_table(
     headers = [
         "rank", "scheduler", "workload", "qps", "capacity qps",
         "mean latency (s)", "med TTFT (s)", "P99 TBT (s)",
-        "attainment", "goodput rps",
+        "attainment", "goodput rps", "max wait (s)", "fairness",
     ]
     table: list[list[str]] = []
     for row in rows:
@@ -323,5 +337,7 @@ def leaderboard_table(
             f"{cell.p99_tbt:.3f}",
             f"{cell.attainment:.0%}",
             f"{cell.goodput_rps:.2f}",
+            f"{cell.max_wait:.2f}",
+            f"{cell.latency_fairness:.3f}",
         ])
     return headers, table

@@ -227,6 +227,29 @@ def _prefix(scale: Scale) -> Table:
     return (["chunk", "variant", "capacity qps", "hit rate", "COW", "gain"], rows)
 
 
+def _resilience(scale: Scale) -> Table:
+    from repro.experiments.resilience import run_resilience_sweep
+
+    def _recovery(value):
+        return f"{value:.2f}" if value is not None else "-"
+
+    rows = [
+        [f"{p.fault_rate:.2f}",
+         "correlated" if p.correlated else "independent",
+         "on" if p.brownout else "off",
+         f"{p.attainment:.0%}", f"{p.goodput_rps:.2f}",
+         f"{p.p99_tbt:.3f}", f"{p.shed_fraction:.0%}",
+         str(p.num_disruptions), _recovery(p.mean_recovery_s),
+         _recovery(p.max_recovery_s)]
+        for p in run_resilience_sweep(scale)
+    ]
+    return (
+        ["faults/s", "domains", "brownout", "attainment", "goodput rps",
+         "P99 TBT (s)", "shed", "disruptions", "MTTR (s)", "max rec (s)"],
+        rows,
+    )
+
+
 def _leaderboard(scale: Scale) -> Table:
     from repro.experiments.leaderboard import leaderboard_table, run_leaderboard
 
@@ -267,6 +290,12 @@ REGISTRY: dict[str, FigureEntry] = {
             "prefix", "Prefix-cache capacity: hit rate × chunk × SLO", True, _prefix
         ),
         FigureEntry("fleet", "Fleet goodput: replicas × faults × load", True, _fleet),
+        FigureEntry(
+            "resilience",
+            "Fleet resilience: fault rate × domain correlation × brownout",
+            True,
+            _resilience,
+        ),
         FigureEntry(
             "leaderboard",
             "Scheduler leaderboard: every registered policy × workload suite",

@@ -62,6 +62,26 @@ class MemoryManager(abc.ABC):
     def holds(self, request: Request) -> bool:
         """Whether the request currently owns an allocation."""
 
+    # -- capacity faults ----------------------------------------------
+    def shed_capacity(self, fraction: float) -> int:
+        """Shrink usable capacity by ``fraction`` (a capacity_loss fault).
+
+        Returns the amount shed in the allocator's native unit (blocks
+        or token slots) for a later :meth:`restore_capacity`.  The free
+        pool may go *negative* — already-admitted work is never seized;
+        instead admissions fail and decode appends trigger the normal
+        eviction/preemption machinery until the deficit is worked off.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support capacity faults"
+        )
+
+    def restore_capacity(self, amount: int) -> None:
+        """Return capacity shed by :meth:`shed_capacity`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support capacity faults"
+        )
+
 
 class PagedBlockManager(MemoryManager):
     """vLLM-style paged allocator, optionally with KV prefix caching.
@@ -207,7 +227,9 @@ class PagedBlockManager(MemoryManager):
             raise ValueError(f"request {request.request_id} holds no allocation")
         if not self._needs_new_block(request):
             return True
-        return self._free_blocks >= 1 or self._evictable() >= 1
+        # Shortfall form so a capacity_loss deficit (negative free) is
+        # paid down before the append, not papered over.
+        return self._free_blocks + self._evictable() >= 1
 
     def append_token(self, request: Request) -> None:
         if request.request_id not in self._allocated:
@@ -215,7 +237,7 @@ class PagedBlockManager(MemoryManager):
         if not self._needs_new_block(request):
             return
         if self._free_blocks < 1 and self._store is not None:
-            self._free_blocks += self._store.evict_for(1)
+            self._free_blocks += self._store.evict_for(1 - self._free_blocks)
         if self._free_blocks < 1:
             raise MemoryError("out of KV blocks")
         self._free_blocks -= 1
@@ -270,6 +292,21 @@ class PagedBlockManager(MemoryManager):
     @property
     def free_blocks(self) -> int:
         return self._free_blocks
+
+    # -- capacity faults ----------------------------------------------
+    def shed_capacity(self, fraction: float) -> int:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        lost = int(self.num_blocks * fraction)
+        self.num_blocks -= lost
+        self._free_blocks -= lost
+        return lost
+
+    def restore_capacity(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.num_blocks += amount
+        self._free_blocks += amount
 
 
 class ReservationManager(MemoryManager):
@@ -334,3 +371,18 @@ class ReservationManager(MemoryManager):
 
     def holds(self, request: Request) -> bool:
         return request.request_id in self._allocated
+
+    # -- capacity faults ----------------------------------------------
+    def shed_capacity(self, fraction: float) -> int:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        lost = int(self.capacity_tokens * fraction)
+        self.capacity_tokens -= lost
+        self._free_tokens -= lost
+        return lost
+
+    def restore_capacity(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.capacity_tokens += amount
+        self._free_tokens += amount

@@ -8,7 +8,12 @@ from repro.metrics.slo import (
     derived_slo,
     paper_slo,
 )
-from repro.metrics.stats import mean, median, p90, p99, percentile
+from repro.metrics.recovery import (
+    Disruption,
+    RecoveryReport,
+    recovery_report,
+)
+from repro.metrics.stats import jain_fairness, mean, median, p90, p99, percentile
 from repro.metrics.summary import RunMetrics, summarize
 from repro.metrics.goodput import (
     FleetGoodput,
@@ -64,4 +69,8 @@ __all__ = [
     "request_meets_slo",
     "FleetGoodput",
     "fleet_goodput",
+    "jain_fairness",
+    "Disruption",
+    "RecoveryReport",
+    "recovery_report",
 ]

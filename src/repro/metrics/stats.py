@@ -30,3 +30,22 @@ def mean(values: list[float]) -> float:
     if not values:
         raise ValueError("cannot take the mean of an empty sample")
     return float(np.mean(values))
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²), in (0, 1].
+
+    1.0 means everyone got the same value; 1/n means one party got
+    everything.  Used here on per-request latencies, where a high index
+    means the latency burden is evenly spread rather than concentrated
+    on a starved few.
+    """
+    if not values:
+        raise ValueError("cannot take a fairness index of an empty sample")
+    arr = np.asarray(values, dtype=np.float64)
+    if np.any(arr < 0):
+        raise ValueError("fairness values must be non-negative")
+    denom = float(len(arr) * np.sum(arr * arr))
+    if denom == 0.0:
+        return 1.0  # all-zero sample: perfectly equal
+    return float(np.sum(arr)) ** 2 / denom

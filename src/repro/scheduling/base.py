@@ -42,6 +42,10 @@ class Scheduler(abc.ABC):
     # unconditionally.
     admission_hook = None
 
+    # Baseline budgets stashed by the first override_token_budget call:
+    # (token_budget, min_budget, max_budget) with None for absent attrs.
+    _base_budgets = None
+
     def __init__(
         self,
         memory: MemoryManager,
@@ -92,6 +96,38 @@ class Scheduler(abc.ABC):
                 f"but now is {now}"
             )
         self.waiting.append(request)
+
+    def override_token_budget(self, budget: int | None) -> None:
+        """Clamp the per-iteration token budget (brownout hook).
+
+        ``None`` restores the configured baseline.  Schedulers without
+        a token budget (e.g. FasterTransformer) ignore the call.
+        Dynamic-budget schedulers clamp their search *range* instead —
+        their ``token_budget`` is recomputed every batch.
+        """
+        if not hasattr(self, "token_budget"):
+            return
+        if budget is not None and budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if self._base_budgets is None:
+            self._base_budgets = (
+                self.token_budget,
+                getattr(self, "min_budget", None),
+                getattr(self, "max_budget", None),
+            )
+        base_budget, base_min, base_max = self._base_budgets
+        if budget is None:
+            self.token_budget = base_budget
+            if base_min is not None:
+                self.min_budget = base_min
+            if base_max is not None:
+                self.max_budget = base_max
+            return
+        if base_max is not None:
+            self.max_budget = min(base_max, budget)
+            self.min_budget = min(base_min, self.max_budget)
+        else:
+            self.token_budget = min(base_budget, budget)
 
     def schedule(self, now: float) -> Batch | None:
         """Form the next batch, or ``None`` when there is nothing to run."""

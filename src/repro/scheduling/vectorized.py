@@ -35,6 +35,7 @@ from repro.engine.arrays import (
 )
 from repro.memory.prefix import PrefixCacheStats, SharedPrefixStore
 from repro.parallel.comm import pp_send_time, tp_comm_time
+from repro.scheduling.base import Scheduler as _ObjectScheduler
 from repro.types import IterationTime, PreemptionMode, TokenWork
 
 __all__ = [
@@ -290,7 +291,9 @@ class VecPagedMemory:
             raise ValueError(f"row {row} holds no allocation")
         if not self._needs_new_block(row):
             return True
-        return self.free_blocks >= 1 or self._evictable() >= 1
+        # Shortfall form so a capacity_loss deficit (negative free) is
+        # paid down before the append, not papered over.
+        return self.free_blocks + self._evictable() >= 1
 
     def append_token(self, row: int) -> None:
         if self._held_arr()[row] == 0:
@@ -298,7 +301,7 @@ class VecPagedMemory:
         if not self._needs_new_block(row):
             return
         if self.free_blocks < 1 and self._store is not None:
-            self.free_blocks += self._store.evict_for(1)
+            self.free_blocks += self._store.evict_for(1 - self.free_blocks)
         if self.free_blocks < 1:
             raise MemoryError("out of KV blocks")
         self.free_blocks -= 1
@@ -369,6 +372,24 @@ class VecPagedMemory:
         if total <= 0:
             return 0.0
         return 1.0 - self.free_token_slots / total
+
+    # -- capacity faults ----------------------------------------------
+    def shed_capacity(self, fraction: float) -> int:
+        # Same integer arithmetic as the object allocator — free may go
+        # negative; admissions fail and the normal eviction/preemption
+        # machinery works the deficit off identically in both engines.
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        lost = int(self.num_blocks * fraction)
+        self.num_blocks -= lost
+        self.free_blocks -= lost
+        return lost
+
+    def restore_capacity(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.num_blocks += amount
+        self.free_blocks += amount
 
 
 class VecReservationMemory:
@@ -454,6 +475,21 @@ class VecReservationMemory:
             return 0.0
         return 1.0 - self.free_token_slots / total
 
+    # -- capacity faults ----------------------------------------------
+    def shed_capacity(self, fraction: float) -> int:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        lost = int(self.capacity_tokens * fraction)
+        self.capacity_tokens -= lost
+        self.free_tokens -= lost
+        return lost
+
+    def restore_capacity(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.capacity_tokens += amount
+        self.free_tokens += amount
+
 
 # ----------------------------------------------------------------------
 # Scheduler core base
@@ -471,6 +507,11 @@ class VecScheduler:
     """
 
     name = "abstract"
+
+    _base_budgets = None
+    # Brownout budget-clamp hook — byte-for-byte the object base's
+    # logic, so both engines apply identical clamps at identical times.
+    override_token_budget = _ObjectScheduler.override_token_budget
 
     def __init__(
         self,

@@ -173,14 +173,22 @@ def _fleet_events(result) -> list[dict]:
     return [dataclasses.asdict(event) for event in result.events]
 
 
-def _run_fleet_pair(deployment, kind, trace, faulted: bool):
+FLEET_FAULTS = {
+    "no_fault": FaultSchedule(),
+    "crash": FaultSchedule.single(1, down_at=2.0, up_at=4.0),
+    "slowdown": FaultSchedule.single(
+        1, down_at=1.0, up_at=4.0, kind="slowdown", severity=3.0
+    ),
+    "capacity_loss": FaultSchedule.single(
+        1, down_at=1.0, up_at=4.0, kind="capacity_loss", severity=0.6
+    ),
+}
+
+
+def _run_fleet_pair(deployment, kind, trace, fault_mode: str):
     fleet_config = FleetConfig(
         num_replicas=3,
-        faults=(
-            FaultSchedule.single(1, down_at=2.0, up_at=4.0)
-            if faulted
-            else FaultSchedule()
-        ),
+        faults=FLEET_FAULTS[fault_mode],
     )
     out = {}
     for engine in ("object", "vectorized"):
@@ -191,13 +199,14 @@ def _run_fleet_pair(deployment, kind, trace, faulted: bool):
     return out["object"], out["vectorized"]
 
 
-@pytest.mark.parametrize("faulted", [False, True], ids=["no_fault", "fault"])
+@pytest.mark.parametrize("fault_mode", sorted(FLEET_FAULTS))
 @pytest.mark.parametrize("kind", PR_SCHEDULERS)
-def test_fleet_small(tiny_deployment, kind, faulted):
-    """Every-PR fleet slice: routing, failover and restarts match."""
+def test_fleet_small(tiny_deployment, kind, fault_mode):
+    """Every-PR fleet slice: routing, failover, restarts and the
+    degraded-mode fault kinds (slowdown, capacity_loss) all match."""
     trace = WORKLOADS["sharegpt"](16, 0)
     (obj_result, obj_metrics), (vec_result, vec_metrics) = _run_fleet_pair(
-        tiny_deployment, kind, trace, faulted
+        tiny_deployment, kind, trace, fault_mode
     )
     assert request_timelines(obj_result.merged()) == request_timelines(
         vec_result.merged()
@@ -210,17 +219,51 @@ def test_fleet_small(tiny_deployment, kind, faulted):
     assert obj_metrics == vec_metrics
 
 
+@pytest.mark.parametrize("kind", [SchedulerKind.SARATHI, SchedulerKind.VLLM])
+def test_fleet_capacity_pressure(tiny_deployment, kind):
+    """A near-total mid-run KV shrink must force preemptions on the
+    degraded replica and still match bit-for-bit — the free pool goes
+    negative and both engines work the deficit off identically."""
+    trace = [
+        make_request(prompt_len=256, output_len=300, arrival_time=0.005 * i)
+        for i in range(12)
+    ]
+    fleet_config = FleetConfig(
+        num_replicas=2,
+        faults=FaultSchedule.single(
+            0, down_at=0.05, up_at=5.0, kind="capacity_loss", severity=0.999
+        ),
+    )
+    out = {}
+    for engine in ("object", "vectorized"):
+        config = _config(kind, engine=engine)
+        out[engine] = simulate_fleet(
+            tiny_deployment, config, clone_requests(trace), fleet_config
+        )
+    (obj_result, obj_metrics), (vec_result, vec_metrics) = (
+        out["object"],
+        out["vectorized"],
+    )
+    # The cell must actually exercise the pressure path.
+    assert obj_result.merged().num_preemptions > 0
+    assert request_timelines(obj_result.merged()) == request_timelines(
+        vec_result.merged()
+    )
+    assert _fleet_events(obj_result) == _fleet_events(vec_result)
+    assert obj_metrics == vec_metrics
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", SEEDS)
-@pytest.mark.parametrize("faulted", [False, True], ids=["no_fault", "fault"])
+@pytest.mark.parametrize("fault_mode", sorted(FLEET_FAULTS))
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 @pytest.mark.parametrize("kind", PR_SCHEDULERS)
-def test_fleet_full_matrix(tiny_deployment, kind, workload, faulted, seed):
+def test_fleet_full_matrix(tiny_deployment, kind, workload, fault_mode, seed):
     """The acceptance matrix: ≥3 schedulers × 3 workloads ×
-    fault/no-fault × 3 seeds, all bit-identical."""
+    4 fault modes × 3 seeds, all bit-identical."""
     trace = WORKLOADS[workload](16, seed)
     (obj_result, obj_metrics), (vec_result, vec_metrics) = _run_fleet_pair(
-        tiny_deployment, kind, trace, faulted
+        tiny_deployment, kind, trace, fault_mode
     )
     assert request_timelines(obj_result.merged()) == request_timelines(
         vec_result.merged()

@@ -12,12 +12,15 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.api import Deployment, ServingConfig
+from repro.cluster.degradation import BrownoutConfig, DegradationLevel
 from repro.cluster.fleet import (
     AdmissionPolicy,
     FaultSchedule,
     FleetConfig,
     FleetSimulator,
+    HealthConfig,
     ReplicaFault,
+    partition_domains,
 )
 from repro.cluster.router import LeastOutstandingTokensRouter, RoundRobinRouter
 from repro.hardware.catalog import A100_80G
@@ -124,6 +127,83 @@ def test_no_request_lost_or_double_finished(engine, scenario):
     # Each request was delivered to at most one replica at a time:
     # across all replica incarnations, a request id appears in at most
     # one *live* engine's pool, and each finish is recorded once.
+    finished_ids = [
+        r.request_id
+        for replica_result in result.replica_results
+        for r in replica_result.requests
+        if r.is_finished
+    ]
+    assert len(finished_ids) == len(set(finished_ids))
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**10),
+    rate=st.floats(min_value=0.1, max_value=1.5),
+    kind=st.sampled_from(["crash", "slowdown", "capacity_loss"]),
+    num_replicas=st.integers(min_value=2, max_value=4),
+    brownout=st.booleans(),
+    num_requests=st.integers(min_value=1, max_value=8),
+)
+def test_conservation_under_correlated_faults_and_degradation(
+    engine, seed, rate, kind, num_replicas, brownout, num_requests
+):
+    """Satellite invariant: correlated domain faults of every kind, with
+    the health monitor draining/restarting replicas and the brownout
+    controller stepping through degradation levels (including shedding
+    a tenant class), must still conserve every request — finished once
+    XOR explicitly shed, never lost."""
+    domains = partition_domains(num_replicas, min(2, num_replicas))
+    schedule = FaultSchedule.correlated(
+        domains, rate=rate, mean_downtime=0.4, horizon=2.0, seed=seed, kind=kind
+    )
+    # An aggressive ladder so brownout transitions actually happen in
+    # short runs: it enters as soon as pooled p99 TBT exceeds 1.1x a
+    # deliberately tiny SLO, and sheds tenant class 2 at its top rung.
+    brownout_config = BrownoutConfig(
+        levels=(
+            DegradationLevel(token_budget=64),
+            DegradationLevel(token_budget=64, max_context=800, shed_client_ids=(2,)),
+        ),
+        tbt_slo=0.005,
+        enter_margin=0.1,
+        exit_margin=0.0,
+        min_dwell=0.05,
+        check_interval=0.05,
+        min_samples=4,
+    )
+    fleet_config = FleetConfig(
+        num_replicas=num_replicas,
+        faults=schedule,
+        domains=domains,
+        max_queue_depth=3,
+        admission=AdmissionPolicy.SHED,
+        max_retries=2,
+        health=HealthConfig(check_interval=0.1, min_samples=4, inflation_factor=1.5),
+        brownout=brownout_config if brownout else None,
+    )
+    trace = [
+        make_request(prompt_len=600, output_len=5, arrival_time=0.02 * i)
+        for i in range(num_requests)
+    ]
+    for i, request in enumerate(trace):
+        request.client_id = i % 3
+    config = ServingConfig(engine=engine)
+    simulator = FleetSimulator(_DEPLOYMENT, config, fleet_config)
+    result = simulator.run(trace)
+
+    assert not result.lost_requests()
+    shed_ids = {r.request_id for r in result.shed}
+    for request in result.requests:
+        assert request.is_finished != (request.request_id in shed_ids)
+        assert request.num_emitted <= request.output_len
+        if request.is_finished:
+            assert request.num_emitted == request.output_len
+            assert request.token_times == sorted(request.token_times)
     finished_ids = [
         r.request_id
         for replica_result in result.replica_results
